@@ -1,0 +1,30 @@
+"""Shared session-scoped state for the benchmark harness.
+
+The runner memoizes every (workload, variant, CCM size) run, so Tables
+2, 3, and 4 — which slice the same underlying experiments — share work
+across benchmark files.
+"""
+
+import pytest
+
+from repro.harness import ExperimentRunner
+from repro.harness.tables import program_runner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def prog_runner():
+    return program_runner()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are macro-benchmarks (a full compile+simulate sweep takes
+    minutes); statistical repetition would add nothing but wall-clock.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Micro-benchmarks of the toolchain itself (real pytest-benchmark
+timing: many rounds, statistics).  Not a paper table — these watch for
+performance regressions in the compiler and simulator."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.harness.experiment import compile_program
+from repro.machine import PAPER_MACHINE_512, Simulator
+from repro.workloads import build_routine, routine_source
+
+
+@pytest.fixture(scope="module")
+def subb_source():
+    return routine_source("subb")
+
+
+def test_frontend_compile_speed(benchmark, subb_source):
+    benchmark(compile_source, subb_source)
+
+
+def test_full_pipeline_speed(benchmark, subb_source):
+    def pipeline():
+        prog = compile_source(subb_source)
+        compile_program(prog, PAPER_MACHINE_512, "baseline")
+        return prog
+    benchmark.pedantic(pipeline, rounds=3, iterations=1)
+
+
+def test_postpass_promotion_speed(benchmark, subb_source):
+    from repro.ccm import promote_spills_postpass
+
+    def compiled():
+        prog = compile_source(subb_source)
+        compile_program(prog, PAPER_MACHINE_512, "baseline")
+        return prog
+
+    progs = [compiled() for _ in range(3)]
+    it = iter(progs)
+    benchmark.pedantic(
+        lambda: promote_spills_postpass(next(it), PAPER_MACHINE_512, True),
+        rounds=3, iterations=1)
+
+
+def test_simulator_throughput(benchmark):
+    prog = build_routine("decomp")
+    compile_program(prog, PAPER_MACHINE_512, "baseline")
+
+    def simulate():
+        return Simulator(prog, PAPER_MACHINE_512).run()
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert result.stats.instructions > 0

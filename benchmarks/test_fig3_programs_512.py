@@ -1,0 +1,31 @@
+"""Figure 3: whole-program running time with a 512-byte CCM.
+
+Paper's shape: the improved programs run at 0.75-1.00 of the no-CCM
+build; the bars for time-in-memory-operations drop further than the
+running-time bars; no allocator ever slows a program down.
+"""
+
+from conftest import run_once
+
+from repro.harness.tables import ALGORITHMS, figure
+
+
+def test_figure3_programs_512(benchmark, prog_runner):
+    result = run_once(benchmark, lambda: figure(lambda: prog_runner, 512))
+    print()
+    print(result.format())
+
+    assert len(result.rows) == 6
+    for row in result.rows:
+        for algorithm in ALGORITHMS:
+            run_ratio, memory_ratio = row.ratios[algorithm]
+            assert run_ratio <= 1.0005, (row.program, algorithm)
+            assert memory_ratio <= run_ratio + 0.01
+
+    # at least one program sees a paper-sized win (paper's best ~0.75)
+    best = min(row.ratios["postpass_cg"][0] for row in result.rows)
+    assert best < 0.93
+
+    # the call-heavy program separates the interprocedural allocator
+    hydro = next(r for r in result.rows if r.program == "hydro2d")
+    assert hydro.ratios["postpass_cg"][0] < hydro.ratios["postpass"][0]

@@ -1,0 +1,32 @@
+"""Figure 4: whole-program running time with a 1024-byte CCM.
+
+Paper's shape: the same programs as Figure 3, at ratios no worse than
+the 512-byte ones — the extra 512 bytes helps the spill-heaviest
+programs a little and the rest not at all.
+"""
+
+from conftest import run_once
+
+from repro.harness.tables import ALGORITHMS, figure
+
+
+def test_figure4_programs_1024(benchmark, prog_runner):
+    fig4 = run_once(benchmark, lambda: figure(lambda: prog_runner, 1024))
+    print()
+    print(fig4.format())
+
+    fig3 = figure(lambda: prog_runner, 512)  # memoized: cheap by now
+    ratios3 = {r.program: r.ratios for r in fig3.rows}
+
+    assert len(fig4.rows) == 6
+    for row in fig4.rows:
+        for algorithm in ALGORITHMS:
+            run_ratio, memory_ratio = row.ratios[algorithm]
+            assert run_ratio <= 1.0005
+            # 1 KB never loses to 512 B
+            assert run_ratio <= ratios3[row.program][algorithm][0] + 0.005
+
+    # at least one program actually gains from the larger CCM
+    gains = [ratios3[row.program][a][0] - row.ratios[a][0]
+             for row in fig4.rows for a in ALGORITHMS]
+    assert max(gains) > 0.0

@@ -1,0 +1,55 @@
+"""Table 1: spill-memory compaction over the 59-routine suite.
+
+Paper's claims to reproduce in shape:
+
+* coloring spill memory compacts most spilling routines;
+* the suite-wide After/Before ratio is well below 1 (paper: 0.68);
+* the big FFT-style and fpppp/twldrv routines compact hardest
+  (paper ratios 0.31-0.52), while single-phase routines do not compact.
+"""
+
+from conftest import run_once
+
+from repro.harness import table1
+
+
+def test_table1_compaction(benchmark):
+    result = run_once(benchmark, table1)
+    print()
+    print(result.format())
+
+    # total compaction in the paper's ballpark (0.68); allow wide band
+    assert 0.4 <= result.total_ratio <= 0.85
+
+    # a majority of spilling routines compact
+    assert len(result.improved_rows) >= len(result.rows) // 2
+
+    by_name = {r.routine: r for r in result.rows}
+
+    # multi-stage giants compact hard...
+    assert by_name["fpppp"].ratio < 0.6
+    assert by_name["fkldX"].ratio < 0.6
+
+    # ...single-phase routines do not (paper: paroi, inisla, energyx,
+    # pdiagX had no compaction and > 1KB of spill)
+    for name in ("paroi", "inisla", "energyX", "pdiagX"):
+        assert by_name[name].ratio > 0.9, name
+
+    # the spill sizes span an order of magnitude, as in the paper
+    sizes = sorted(r.bytes_before for r in result.rows)
+    assert sizes[-1] >= 8 * max(sizes[0], 32)
+
+
+def test_section41_ccm_sizing(benchmark):
+    """Section 4.1: 'we chose a one kilobyte CCM ... this size
+    accommodates three quarters of the subroutines.'  The suite is
+    scaled ~8x down, so the same fraction should fit well below 1 KB
+    and nearly all routines should fit at 1 KB."""
+    from repro.harness import ccm_fit_summary
+
+    summary = run_once(benchmark, ccm_fit_summary)
+    print()
+    print(summary.format())
+    assert summary.fraction_fitting(512) >= 0.75
+    assert summary.fraction_fitting(1024) >= 0.9
+    assert summary.fraction_fitting(128) < summary.fraction_fitting(1024)

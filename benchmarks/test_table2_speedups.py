@@ -1,0 +1,52 @@
+"""Table 2: per-routine dynamic-cycle speedups with a 512-byte CCM.
+
+Shape targets from the paper:
+
+* every routine runs at or below 1.00 of baseline under all three
+  allocators (CCM promotion only retargets spill instructions);
+* memory-operation cycles fall at least as much as total cycles;
+* the interprocedural post-pass dominates the intraprocedural one, and
+  visibly so on routines whose spills cross calls (paper: ddeflu
+  0.99 -> 0.92, jacld 0.95 -> 0.90, fpppp 0.95 -> 0.89, ...).
+"""
+
+from conftest import run_once
+
+from repro.harness import table2
+from repro.harness.tables import ALGORITHMS
+
+
+def test_table2_speedups(benchmark, runner):
+    result = run_once(benchmark, lambda: table2(runner, 512))
+    print()
+    print(result.format())
+
+    by_name = {r.routine: r for r in result.rows}
+
+    for row in result.rows:
+        for algorithm in ALGORITHMS:
+            cycles_ratio, memory_ratio = row.ratios[algorithm]
+            assert cycles_ratio <= 1.0005, (row.routine, algorithm)
+            # memory cycles improve at least as much as total cycles
+            assert memory_ratio <= cycles_ratio + 0.01, (row.routine,
+                                                         algorithm)
+
+    # the interprocedural post-pass never loses to the intraprocedural
+    for row in result.rows:
+        assert row.ratios["postpass_cg"][0] <= row.ratios["postpass"][0] + 1e-9
+
+    # and wins clearly on the call-heavy routines
+    for name in ("deseco", "colbur", "ddeflu", "prophy"):
+        intra = by_name[name].ratios["postpass"][0]
+        inter = by_name[name].ratios["postpass_cg"][0]
+        assert inter < intra - 0.02, name
+
+    # sizable best-case speedups exist (paper's best: 0.78)
+    best = min(r.ratios["postpass_cg"][0] for r in result.rows)
+    assert best < 0.92
+
+    # suite-wide, CCM spilling helps meaningfully
+    total_base = sum(r.base_cycles for r in result.rows)
+    total_ccm = sum(r.base_cycles * r.ratios["postpass_cg"][0]
+                    for r in result.rows)
+    assert total_ccm / total_base < 0.97

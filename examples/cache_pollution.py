@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Cache pollution by spill code, and how the CCM removes it.
+
+Section 2.3 of the paper: "spill code inserted in the last stages of
+compilation can disrupt the compiler's carefully planned sequence of
+memory accesses."  Here a blocked array-sweep kernel enjoys good
+locality until spills start landing in the same small cache; promoting
+the spills into the CCM takes them off the cache pathway entirely.
+
+Run:  python examples/cache_pollution.py
+"""
+
+from repro.frontend import compile_source
+from repro.harness.experiment import compile_program
+from repro.machine import (CacheConfig, DataCache, MachineConfig, Simulator)
+
+MACHINE = MachineConfig(ccm_bytes=1024)
+CACHE = CacheConfig(size_bytes=1024, line_bytes=32, associativity=1,
+                    hit_latency=1, miss_penalty=12)
+
+
+def kernel_source() -> str:
+    """A streaming sweep with enough held scalars to force spilling."""
+    lines = ["global A: float[128] = {" +
+             ", ".join(f"{(i % 11) + 1.0}" for i in range(128)) + "}",
+             "func main(): float {",
+             "  var acc: float = 0.0"]
+    for k in range(44):
+        lines.append(f"  var h{k}: float = A[{k}]")
+    lines += ["  var i: int = 0",
+              "  while (i < 200) {",
+              "    acc = acc * 0.5 + A[i % 128]"]
+    for k in range(0, 44, 4):
+        lines.append(f"    acc = acc + h{k} * 0.015625")
+    lines += ["    i = i + 1", "  }",
+              "  acc = acc + " + " + ".join(f"h{k}" for k in range(44)),
+              "  return acc", "}"]
+    return "\n".join(lines)
+
+
+def run(variant: str):
+    prog = compile_source(kernel_source())
+    compile_program(prog, MACHINE, variant)
+    cache = DataCache(CACHE)
+    result = Simulator(prog, MACHINE, cache=cache,
+                       poison_caller_saved=True).run()
+    return result, cache.stats
+
+
+def main() -> None:
+    base_result, base_cache = run("baseline")
+    ccm_result, ccm_cache = run("postpass_cg")
+    assert abs(base_result.value - ccm_result.value) < 1e-6
+
+    print("1KB direct-mapped data cache, 12-cycle miss penalty\n")
+    print(f"{'':22s}{'stack spills':>14s}{'CCM spills':>12s}")
+    print(f"{'cycles':22s}{base_result.stats.cycles:14d}"
+          f"{ccm_result.stats.cycles:12d}")
+    print(f"{'cache accesses':22s}{base_cache.accesses:14d}"
+          f"{ccm_cache.accesses:12d}")
+    print(f"{'cache misses':22s}{base_cache.misses:14d}"
+          f"{ccm_cache.misses:12d}")
+    print(f"{'cache hit rate':22s}{base_cache.hit_rate:14.3f}"
+          f"{ccm_cache.hit_rate:12.3f}")
+    print(f"{'spill ops via cache':22s}"
+          f"{base_result.stats.spill_traffic:14d}"
+          f"{ccm_result.stats.spill_traffic:12d}")
+    print(f"{'spill ops via CCM':22s}{base_result.stats.ccm_traffic:14d}"
+          f"{ccm_result.stats.ccm_traffic:12d}")
+
+    removed = base_cache.accesses - ccm_cache.accesses
+    print(f"\nCCM promotion removed {removed} accesses from the cache")
+    print("pathway; the remaining (array) accesses keep their locality,")
+    print("so misses drop even though the cache itself did not change.")
+
+
+if __name__ == "__main__":
+    main()

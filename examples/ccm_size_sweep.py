@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""How much CCM is enough?  (The paper's section 4.1 question.)
+
+Sweeps the CCM size from 0 to 2 KB on one of the suite's biggest
+spillers and prints the speedup curve.  The paper's answer — 512 bytes
+captures most of the win, 1 KB nearly all of it — should be visible as
+a knee in the curve.
+
+Run:  python examples/ccm_size_sweep.py [routine]
+"""
+
+import sys
+
+from repro.harness.experiment import compile_program
+from repro.machine import MachineConfig, Simulator
+from repro.workloads import build_routine
+
+
+def measure(routine: str, ccm_bytes: int) -> int:
+    machine = MachineConfig(ccm_bytes=ccm_bytes)
+    prog = build_routine(routine)
+    variant = "postpass_cg" if ccm_bytes else "baseline"
+    compile_program(prog, machine, variant)
+    return Simulator(prog, machine,
+                     poison_caller_saved=True).run().stats.cycles
+
+
+def main() -> None:
+    routine = sys.argv[1] if len(sys.argv) > 1 else "twldrv"
+    sizes = [0, 64, 128, 256, 384, 512, 768, 1024, 2048]
+    baseline = measure(routine, 0)
+    print(f"routine {routine}: baseline {baseline} cycles\n")
+    print(f"{'CCM bytes':>10s} {'cycles':>10s} {'vs baseline':>12s}  curve")
+    for size in sizes:
+        cycles = measure(routine, size)
+        ratio = cycles / baseline
+        bar = "#" * int((1.0 - ratio) * 200)
+        print(f"{size:10d} {cycles:10d} {ratio:12.3f}  {bar}")
+    print("\nThe knee is where the hot spill webs all fit; beyond it the")
+    print("remaining stack spills are cold and extra CCM buys little -")
+    print("the paper's rationale for shipping a 512B-1KB CCM.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""A DSP workload: a 32-tap FIR filter with fully unrolled taps.
+
+The paper's motivation is DSP chips whose on-chip scratchpads already
+exist; "reserving the bottom 512 to 1024 bytes of that memory would
+allow the compiler to apply the techniques presented here."  This
+example is that scenario: a classic FIR kernel whose unrolled tap
+coefficients and delay-line values exceed the register file, so the
+allocator spills — and CCM promotion moves those spills into the
+scratchpad.
+
+Run:  python examples/dsp_fir_filter.py
+"""
+
+from repro import compile_and_run
+from repro.frontend import compile_source
+from repro.machine import Simulator
+
+TAPS = 32
+N_SAMPLES = 64
+
+
+def fir_source() -> str:
+    coeffs = [round(0.9 ** k, 6) for k in range(TAPS)]
+    signal = [round(((3 * i) % 7) * 0.25 + 0.1, 6) for i in range(N_SAMPLES + TAPS)]
+    lines = [
+        "global COEF: float[%d] = {%s}" % (TAPS, ", ".join(map(str, coeffs))),
+        "global X: float[%d] = {%s}" % (len(signal), ", ".join(map(str, signal))),
+        "global Y: float[%d]" % N_SAMPLES,
+        "func fir(n: int): float {",
+        "  var checksum: float = 0.0",
+    ]
+    # hold all taps in scalars: classic DSP register blocking, and the
+    # source of the register pressure
+    for k in range(TAPS):
+        lines.append(f"  var c{k}: float = COEF[{k}]")
+    lines += [
+        "  var i: int = 0",
+        "  while (i < n) {",
+    ]
+    terms = " + ".join(f"c{k} * X[i + {k}]" for k in range(TAPS))
+    lines += [
+        f"    var y: float = {terms}",
+        "    Y[i] = y",
+        "    checksum = checksum + y",
+        "    i = i + 1",
+        "  }",
+        "  return checksum",
+        "}",
+        f"func main(): float {{ return fir({N_SAMPLES}) }}",
+    ]
+    return "\n".join(lines)
+
+
+def python_reference() -> float:
+    coeffs = [round(0.9 ** k, 6) for k in range(TAPS)]
+    signal = [round(((3 * i) % 7) * 0.25 + 0.1, 6)
+              for i in range(N_SAMPLES + TAPS)]
+    return sum(sum(coeffs[k] * signal[i + k] for k in range(TAPS))
+               for i in range(N_SAMPLES))
+
+
+def main() -> None:
+    source = fir_source()
+
+    # sanity: the unoptimized interpreter agrees with plain Python
+    reference = Simulator(compile_source(source)).run().value
+    assert abs(reference - python_reference()) < 1e-6
+
+    print(f"{TAPS}-tap FIR over {N_SAMPLES} samples "
+          f"(checksum {reference:.4f})\n")
+    print(f"{'variant':14s} {'cycles':>9s} {'memory':>9s} "
+          f"{'spill ld/st':>12s} {'ccm ld/st':>10s}")
+    rows = {}
+    for variant in ("baseline", "postpass_cg", "integrated"):
+        result = compile_and_run(source, variant=variant)
+        assert abs(result.value - reference) < 1e-6
+        stats = result.stats
+        rows[variant] = stats
+        print(f"{variant:14s} {stats.cycles:9d} {stats.memory_cycles:9d} "
+              f"{stats.spill_loads:6d}/{stats.spill_stores:<5d} "
+              f"{stats.ccm_loads:5d}/{stats.ccm_stores:<4d}")
+
+    saved = rows["baseline"].cycles - rows["postpass_cg"].cycles
+    print(f"\nCCM spilling saves {saved} cycles "
+          f"({saved / rows['baseline'].cycles:.1%}) on this kernel - the")
+    print("delay-line taps spill, and every in-loop reload becomes a")
+    print("1-cycle scratchpad access instead of a 2-cycle memory access.")
+
+
+if __name__ == "__main__":
+    main()

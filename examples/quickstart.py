@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: compile one kernel four ways and compare cycle counts.
+
+This walks the library's main entry point, ``repro.compile_and_run``:
+MFL source -> scalar optimization -> Chaitin-Briggs register allocation
+-> (optionally) CCM spill promotion -> cycle-accurate simulation on the
+paper's abstract machine (single issue, 2-cycle memory, 1-cycle CCM).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import VARIANTS, compile_and_run
+
+# A register-pressure-heavy kernel: 48 array values held live at once
+# forces the allocator to spill on the paper's 32+32-register machine.
+N_VALUES = 48
+LINES = ["global A: float[64] = {" +
+         ", ".join(f"{(i % 9) + 0.5}" for i in range(64)) + "}",
+         "func main(): float {",
+         "  var acc: float = 0.0",
+         "  var i: int = 0",
+         "  while (i < 100) {"]
+for k in range(N_VALUES):
+    LINES.append(f"    var t{k}: float = A[(i + {k}) % 64]")
+LINES.append("    acc = acc * 0.5 + " +
+             " + ".join(f"t{k}" for k in range(N_VALUES)))
+LINES += ["    i = i + 1", "  }", "  return acc", "}"]
+SOURCE = "\n".join(LINES)
+
+
+def main() -> None:
+    print(f"{'variant':14s} {'value':>12s} {'cycles':>9s} {'mem cyc':>9s} "
+          f"{'stack spills':>13s} {'CCM ops':>8s}")
+    baseline_cycles = None
+    for variant in VARIANTS:
+        result = compile_and_run(SOURCE, variant=variant)
+        stats = result.stats
+        if baseline_cycles is None:
+            baseline_cycles = stats.cycles
+        speedup = stats.cycles / baseline_cycles
+        print(f"{variant:14s} {result.value:12.3f} {stats.cycles:9d} "
+              f"{stats.memory_cycles:9d} {stats.spill_traffic:13d} "
+              f"{stats.ccm_traffic:8d}   ({speedup:.2f}x of baseline)")
+
+    print()
+    print("The CCM variants run the same instruction count, but the")
+    print("allocator-inserted loads/stores hit the 1-cycle CCM instead of")
+    print("the 2-cycle memory path - the paper's headline effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim so `python setup.py --help` etc. still work.
+
+`pip install -e .` on modern pip needs the `wheel` package (PEP 660
+editable wheels).  On a fully offline machine without it, fall back to
+a path file — equivalent to an editable install:
+
+    echo "$PWD/src" > "$(python -c 'import site; \
+        print(site.getsitepackages()[0])')/repro-dev.pth"
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Program analyses: CFG, dominators, liveness, loops, SSA, call graph."""
+
+from .callgraph import CallGraph
+from .cfg import CFG, remove_unreachable_blocks, split_critical_edges
+from .defuse import DefUse
+from .dominators import DominatorTree
+from .liveness import LivenessInfo, compute_liveness, values_live_across_calls
+from .loops import Loop, LoopInfo
+from .ssa import build_ssa, destroy_ssa, is_ssa
+
+__all__ = [
+    "CallGraph", "CFG", "remove_unreachable_blocks", "split_critical_edges",
+    "DefUse", "DominatorTree", "LivenessInfo", "compute_liveness",
+    "values_live_across_calls", "Loop", "LoopInfo", "build_ssa",
+    "destroy_ssa", "is_ssa",
+]

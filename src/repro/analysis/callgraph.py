@@ -1,0 +1,107 @@
+"""Call-graph construction, SCC condensation, and bottom-up orders.
+
+The interprocedural post-pass CCM allocator (paper section 3.1) walks the
+call graph bottom-up, recording per-callee CCM high-water marks, and must
+treat call-graph cycles (recursion) conservatively — every procedure in a
+cycle is marked as using the whole CCM.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from ..ir import Opcode, Program
+
+
+class CallGraph:
+    """Direct-call graph over a whole program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.callees: Dict[str, Set[str]] = {name: set() for name in program.functions}
+        self.callers: Dict[str, Set[str]] = {name: set() for name in program.functions}
+        self.call_sites: Dict[str, List[tuple]] = defaultdict(list)
+        for fn in program.functions.values():
+            for block in fn.blocks:
+                for index, instr in enumerate(block.instructions):
+                    if instr.opcode is Opcode.CALL:
+                        callee = instr.symbol
+                        self.callees[fn.name].add(callee)
+                        if callee in self.callers:
+                            self.callers[callee].add(fn.name)
+                        self.call_sites[fn.name].append((block.label, index, callee))
+
+    # -- SCCs (Tarjan, iterative) --------------------------------------------
+
+    def sccs(self) -> List[List[str]]:
+        """Strongly connected components in reverse topological order
+        (callees before callers), so iterating the result visits the call
+        graph bottom-up."""
+        index_of: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        result: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(self.callees[root])))]
+            index_of[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in self.callees:
+                        continue  # call to unknown function
+                    if child not in index_of:
+                        index_of[child] = lowlink[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(sorted(self.callees[child]))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    comp = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        comp.append(member)
+                        if member == node:
+                            break
+                    result.append(comp)
+
+        for name in sorted(self.program.functions):
+            if name not in index_of:
+                strongconnect(name)
+        return result
+
+    def recursive_functions(self) -> Set[str]:
+        """Functions in a call-graph cycle (including self-recursion)."""
+        out: Set[str] = set()
+        for comp in self.sccs():
+            if len(comp) > 1:
+                out.update(comp)
+            elif comp[0] in self.callees[comp[0]]:
+                out.add(comp[0])
+        return out
+
+    def bottom_up_order(self) -> List[str]:
+        """Function names, every callee before each of its callers
+        (members of a cycle appear in arbitrary relative order)."""
+        order: List[str] = []
+        for comp in self.sccs():
+            order.extend(comp)
+        return order

@@ -1,0 +1,109 @@
+"""Control-flow graph utilities.
+
+Edges are recomputed from terminators on each construction, so a CFG
+object is a snapshot; passes that rewrite control flow build a fresh one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import Function
+
+
+class CFG:
+    """Predecessor/successor maps plus standard traversal orders."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {}
+        for block in fn.blocks:
+            self.succs[block.label] = []
+            self.preds[block.label] = []
+        for block in fn.blocks:
+            for target in block.successor_labels():
+                self.succs[block.label].append(target)
+                self.preds[target].append(block.label)
+
+    @property
+    def entry(self) -> str:
+        return self.fn.entry.label
+
+    def postorder(self) -> List[str]:
+        """Postorder over blocks reachable from the entry."""
+        seen: Set[str] = set()
+        order: List[str] = []
+        # Iterative DFS to avoid recursion limits on long CFGs.
+        stack: List[tuple] = [(self.entry, iter(self.succs[self.entry]))]
+        seen.add(self.entry)
+        while stack:
+            label, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, iter(self.succs[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(label)
+                stack.pop()
+        return order
+
+    def reverse_postorder(self) -> List[str]:
+        return list(reversed(self.postorder()))
+
+    def reachable(self) -> Set[str]:
+        return set(self.postorder())
+
+
+def remove_unreachable_blocks(fn: Function) -> int:
+    """Drop blocks not reachable from the entry; returns count removed.
+
+    Phi operands flowing from removed predecessors are pruned too.
+    """
+    cfg = CFG(fn)
+    live = cfg.reachable()
+    dead = [b.label for b in fn.blocks if b.label not in live]
+    for label in dead:
+        fn.remove_block(label)
+    if dead:
+        dead_set = set(dead)
+        for block in fn.blocks:
+            for instr in block.phis():
+                keep = [(r, l) for r, l in zip(instr.srcs, instr.phi_labels)
+                        if l not in dead_set]
+                instr.srcs = [r for r, _ in keep]
+                instr.phi_labels = [l for _, l in keep]
+    return len(dead)
+
+
+def split_critical_edges(fn: Function) -> int:
+    """Insert empty blocks on critical edges (needed by SSA destruction).
+
+    A critical edge runs from a block with multiple successors to a block
+    with multiple predecessors.  Returns the number of edges split.
+    """
+    from ..ir import Instruction, Opcode
+
+    cfg = CFG(fn)
+    split = 0
+    for block in list(fn.blocks):
+        succs = cfg.succs[block.label]
+        if len(succs) < 2:
+            continue
+        term = block.terminator
+        for i, target in enumerate(list(term.labels)):
+            if len(cfg.preds[target]) < 2:
+                continue
+            middle = fn.new_block(hint=f"split{split}_")
+            middle.append(Instruction(Opcode.JUMP, labels=[target]))
+            term.labels[i] = middle.label
+            # redirect phi inputs in the target
+            for instr in fn.block(target).phis():
+                for j, lbl in enumerate(instr.phi_labels):
+                    if lbl == block.label:
+                        instr.phi_labels[j] = middle.label
+            split += 1
+    return split

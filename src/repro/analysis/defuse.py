@@ -1,0 +1,38 @@
+"""Def-use indexing over a function snapshot."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from ..ir import Function, Instruction
+
+Site = Tuple[str, int]  # (block label, instruction index)
+
+
+class DefUse:
+    """Maps each register to its definition and use sites."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.defs: Dict[object, List[Site]] = defaultdict(list)
+        self.uses: Dict[object, List[Site]] = defaultdict(list)
+        for block in fn.blocks:
+            for index, instr in enumerate(block.instructions):
+                site = (block.label, index)
+                for reg in instr.dsts:
+                    self.defs[reg].append(site)
+                for reg in instr.srcs:
+                    self.uses[reg].append(site)
+
+    def instruction_at(self, site: Site) -> Instruction:
+        label, index = site
+        return self.fn.block(label).instructions[index]
+
+    def single_def(self, reg):
+        """The unique def site of ``reg``, or None (requires SSA form)."""
+        sites = self.defs.get(reg, [])
+        return sites[0] if len(sites) == 1 else None
+
+    def is_dead(self, reg) -> bool:
+        return not self.uses.get(reg)

@@ -1,0 +1,96 @@
+"""Dominator tree and dominance frontiers.
+
+Uses the Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm") — a pleasing choice, since Harvey is the paper's
+second author.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .cfg import CFG
+
+
+class DominatorTree:
+    """Immediate-dominator map, dominator tree children, and frontiers."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.idom: Dict[str, Optional[str]] = {}
+        self.children: Dict[str, List[str]] = {}
+        self.frontier: Dict[str, Set[str]] = {}
+        self._rpo_index: Dict[str, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        self._rpo_index = {label: i for i, label in enumerate(rpo)}
+        entry = self.cfg.entry
+        idom: Dict[str, Optional[str]] = {entry: entry}
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == entry:
+                    continue
+                preds = [p for p in self.cfg.preds[label]
+                         if p in idom and p in self._rpo_index]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = self._intersect(idom, new_idom, p)
+                if idom.get(label) != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+
+        idom[entry] = None
+        self.idom = idom
+        self.children = {label: [] for label in idom}
+        for label, parent in idom.items():
+            if parent is not None:
+                self.children[parent].append(label)
+        self._compute_frontiers()
+
+    def _intersect(self, idom, a: str, b: str) -> str:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    def _compute_frontiers(self) -> None:
+        self.frontier = {label: set() for label in self.idom}
+        for label in self.idom:
+            preds = [p for p in self.cfg.preds[label] if p in self.idom]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner != self.idom[label] and runner is not None:
+                    self.frontier[runner].add(label)
+                    runner = self.idom[runner]
+
+    # -- queries --------------------------------------------------------------
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        runner: Optional[str] = b
+        while runner is not None:
+            if runner == a:
+                return True
+            runner = self.idom[runner]
+        return False
+
+    def dom_tree_preorder(self) -> List[str]:
+        order: List[str] = []
+        stack = [self.cfg.entry]
+        while stack:
+            label = stack.pop()
+            order.append(label)
+            stack.extend(reversed(self.children[label]))
+        return order

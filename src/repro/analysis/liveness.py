@@ -1,0 +1,128 @@
+"""Backward iterative liveness analysis over registers.
+
+Phi semantics follow the standard convention: a phi's source is live out
+of the corresponding *predecessor*, not live into the phi's own block.
+
+The same worklist engine is reused by :mod:`repro.ccm.mem_liveness`,
+which runs liveness over *spill slots* instead of registers — the
+paper's key analytical move (section 3.1: "a spill location m is live at
+p if there exists an execution path from p to an instruction that loads
+m").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..ir import Function, Instruction
+from .cfg import CFG
+
+
+class LivenessInfo:
+    """Per-block live-in/live-out sets plus per-instruction queries."""
+
+    def __init__(self, live_in: Dict[str, Set], live_out: Dict[str, Set],
+                 fn: Function, cfg: CFG):
+        self.live_in = live_in
+        self.live_out = live_out
+        self.fn = fn
+        self.cfg = cfg
+
+    def live_across_instructions(self, label: str):
+        """Yield (index, instr, live_after) walking a block backward.
+
+        ``live_after`` is the set of registers live immediately after the
+        instruction executes — the set spill-interference is judged
+        against.
+        """
+        block = self.fn.block(label)
+        live = set(self.live_out[label])
+        for index in range(len(block.instructions) - 1, -1, -1):
+            instr = block.instructions[index]
+            yield index, instr, set(live)
+            _step_backward(instr, live)
+
+
+def _uses_and_defs(instr: Instruction) -> Tuple[List, List]:
+    return list(instr.srcs), list(instr.dsts)
+
+
+def _step_backward(instr: Instruction, live: Set) -> None:
+    """Update ``live`` across ``instr`` in the backward direction."""
+    for d in instr.dsts:
+        live.discard(d)
+    if instr.is_phi:
+        return  # phi uses count at predecessor block ends
+    for s in instr.srcs:
+        live.add(s)
+
+
+def compute_liveness(fn: Function, cfg: CFG = None) -> LivenessInfo:
+    cfg = cfg or CFG(fn)
+    use: Dict[str, Set] = {}
+    defs: Dict[str, Set] = {}
+    phi_uses_at_pred: Dict[str, Set] = {b.label: set() for b in fn.blocks}
+
+    for block in fn.blocks:
+        u: Set = set()
+        d: Set = set()
+        for instr in block.instructions:
+            if instr.is_phi:
+                for src, pred in zip(instr.srcs, instr.phi_labels):
+                    phi_uses_at_pred.setdefault(pred, set()).add(src)
+                for dst in instr.dsts:
+                    d.add(dst)
+                continue
+            for src in instr.srcs:
+                if src not in d:
+                    u.add(src)
+            for dst in instr.dsts:
+                d.add(dst)
+        use[block.label] = u
+        defs[block.label] = d
+
+    live_in: Dict[str, Set] = {b.label: set() for b in fn.blocks}
+    live_out: Dict[str, Set] = {b.label: set() for b in fn.blocks}
+
+    worklist = deque(cfg.postorder())
+    in_list = set(worklist)
+    while worklist:
+        label = worklist.popleft()
+        in_list.discard(label)
+        out: Set = set(phi_uses_at_pred.get(label, ()))
+        for succ in cfg.succs[label]:
+            # live-in of successor, minus its phi defs, plus nothing extra:
+            # phi defs are live-in to the successor but the corresponding
+            # liveness at this predecessor is the phi *source*, already in
+            # phi_uses_at_pred.
+            succ_in = live_in[succ]
+            succ_phi_defs = {d for instr in cfg.fn.block(succ).phis()
+                             for d in instr.dsts}
+            out |= (succ_in - succ_phi_defs)
+        new_in = use[label] | (out - defs[label])
+        changed = out != live_out[label] or new_in != live_in[label]
+        live_out[label] = out
+        live_in[label] = new_in
+        if changed:
+            for pred in cfg.preds[label]:
+                if pred not in in_list:
+                    worklist.append(pred)
+                    in_list.add(pred)
+    return LivenessInfo(live_in, live_out, fn, cfg)
+
+
+def values_live_across_calls(fn: Function, liveness: LivenessInfo = None) -> Set:
+    """Registers live immediately after some CALL instruction.
+
+    The intraprocedural post-pass CCM allocator refuses to promote spill
+    slots whose value is live across a call (paper section 3.1); this is
+    the register-level analog used in tests and diagnostics.
+    """
+    liveness = liveness or compute_liveness(fn)
+    result: Set = set()
+    for block in fn.blocks:
+        for _, instr, live_after in liveness.live_across_instructions(block.label):
+            if instr.is_call:
+                result |= live_after
+    return result

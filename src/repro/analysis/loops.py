@@ -1,0 +1,67 @@
+"""Natural-loop detection and loop-nesting depth.
+
+Spill-cost estimation (Chaitin's heuristic) weights each definition and
+use by ``10 ** depth`` of its block, so loop structure directly shapes
+who gets spilled — and therefore what the CCM allocators see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import Function
+from .cfg import CFG
+from .dominators import DominatorTree
+
+
+class Loop:
+    """A natural loop: header plus body blocks (header included)."""
+
+    def __init__(self, header: str):
+        self.header = header
+        self.blocks: Set[str] = {header}
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={len(self.blocks)}>"
+
+
+class LoopInfo:
+    """All natural loops of a function and the per-block nesting depth."""
+
+    def __init__(self, fn: Function, cfg: CFG = None, dom: DominatorTree = None):
+        self.fn = fn
+        cfg = cfg or CFG(fn)
+        dom = dom or DominatorTree(cfg)
+        self.loops: List[Loop] = []
+        self.depth: Dict[str, int] = {b.label: 0 for b in fn.blocks}
+        self._find_loops(cfg, dom)
+
+    def _find_loops(self, cfg: CFG, dom: DominatorTree) -> None:
+        by_header: Dict[str, Loop] = {}
+        reachable = set(dom.idom)
+        for label in reachable:
+            for succ in cfg.succs[label]:
+                if succ in reachable and dom.dominates(succ, label):
+                    # back edge label -> succ; succ is the header
+                    loop = by_header.setdefault(succ, Loop(succ))
+                    self._collect_body(loop, label, cfg)
+        self.loops = list(by_header.values())
+        for loop in self.loops:
+            for block in loop.blocks:
+                self.depth[block] = self.depth.get(block, 0) + 1
+
+    def _collect_body(self, loop: Loop, tail: str, cfg: CFG) -> None:
+        stack = [tail]
+        while stack:
+            label = stack.pop()
+            if label in loop.blocks:
+                continue
+            loop.blocks.add(label)
+            stack.extend(cfg.preds[label])
+
+    def block_depth(self, label: str) -> int:
+        return self.depth.get(label, 0)
+
+    def block_frequency(self, label: str, base: float = 10.0) -> float:
+        """Chaitin-style static execution-frequency estimate."""
+        return base ** self.block_depth(label)

@@ -1,0 +1,175 @@
+"""SSA construction and destruction for virtual registers.
+
+Construction is the classic Cytron et al. recipe: phi placement on the
+iterated dominance frontier of each variable's definition sites, then a
+renaming walk over the dominator tree.  Physical registers (precolored
+operands, call conventions) are left untouched.
+
+Destruction inserts parallel-copy-free moves at predecessor edges after
+critical-edge splitting; the conservative copy order is safe because
+destruction runs before register allocation, when every name is still a
+distinct virtual register (no lost-copy hazard between distinct names).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from ..ir import (Function, Instruction, Opcode, VirtualReg, make_move)
+from .cfg import CFG, split_critical_edges
+from .dominators import DominatorTree
+from .liveness import compute_liveness
+
+
+def build_ssa(fn: Function) -> None:
+    """Rewrite ``fn`` into SSA form in place."""
+    cfg = CFG(fn)
+    dom = DominatorTree(cfg)
+    reachable = set(dom.idom)
+
+    # 1. collect definition sites per virtual register
+    def_blocks: Dict[VirtualReg, Set[str]] = defaultdict(set)
+    all_vregs: Set[VirtualReg] = set()
+    for block in fn.blocks:
+        if block.label not in reachable:
+            continue
+        for instr in block.instructions:
+            for reg in instr.dsts:
+                if isinstance(reg, VirtualReg):
+                    def_blocks[reg].add(block.label)
+                    all_vregs.add(reg)
+            for reg in instr.srcs:
+                if isinstance(reg, VirtualReg):
+                    all_vregs.add(reg)
+    entry_label = fn.entry.label
+    for param in fn.params:
+        if isinstance(param, VirtualReg):
+            def_blocks[param].add(entry_label)
+            all_vregs.add(param)
+
+    # 2. phi placement on iterated dominance frontiers, pruned by liveness
+    liveness = compute_liveness(fn, cfg)
+    phi_for: Dict[str, Dict[VirtualReg, Instruction]] = defaultdict(dict)
+    for var, sites in def_blocks.items():
+        worklist = list(sites)
+        placed: Set[str] = set()
+        while worklist:
+            site = worklist.pop()
+            for front in dom.frontier.get(site, ()):
+                if front in placed or var not in liveness.live_in[front]:
+                    continue
+                placed.add(front)
+                preds = cfg.preds[front]
+                phi = Instruction(Opcode.PHI, [var], [var] * len(preds),
+                                  phi_labels=list(preds))
+                fn.block(front).instructions.insert(0, phi)
+                phi_for[front][var] = phi
+                if front not in sites:
+                    worklist.append(front)
+
+    # 3. renaming walk over the dominator tree
+    stacks: Dict[VirtualReg, List[VirtualReg]] = defaultdict(list)
+
+    def fresh(var: VirtualReg) -> VirtualReg:
+        new = fn.new_vreg(var.rclass)
+        stacks[var].append(new)
+        return new
+
+    for param in fn.params:
+        if isinstance(param, VirtualReg):
+            stacks[param].append(param)
+
+    def top(var: VirtualReg) -> VirtualReg:
+        if stacks[var]:
+            return stacks[var][-1]
+        # use of an undefined variable: keep the name (verifier-level issue)
+        return var
+
+    def rename_block(label: str) -> None:
+        block = fn.block(label)
+        pushed: List[VirtualReg] = []
+        for instr in block.instructions:
+            if not instr.is_phi:
+                for i, reg in enumerate(instr.srcs):
+                    if isinstance(reg, VirtualReg):
+                        instr.srcs[i] = top(reg)
+            for i, reg in enumerate(instr.dsts):
+                if isinstance(reg, VirtualReg):
+                    instr.dsts[i] = fresh(reg)
+                    pushed.append(reg)
+        for succ in cfg.succs[label]:
+            for instr in fn.block(succ).phis():
+                for i, pred in enumerate(instr.phi_labels):
+                    if pred == label and isinstance(instr.srcs[i], VirtualReg):
+                        instr.srcs[i] = top(instr.srcs[i])
+        for child in dom.children[label]:
+            rename_block(child)
+        for var in pushed:
+            stacks[var].pop()
+
+    import sys
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * len(fn.blocks) + 1000))
+    try:
+        rename_block(entry_label)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # parameters keep their incoming names: renaming pushed the original
+    # param name itself, so no epilogue fix-up is needed.
+
+
+def destroy_ssa(fn: Function) -> None:
+    """Replace phis with copies on (split) predecessor edges, in place.
+
+    When a phi destination is also a phi source on the same edge (a
+    loop-carried swap), naive sequential copies would clobber a value
+    before it is read; those edges route through fresh temporaries.
+    """
+    split_critical_edges(fn)
+    cfg = CFG(fn)
+    for block in fn.blocks:
+        phis = block.phis()
+        if not phis:
+            continue
+        dsts = {phi.dsts[0] for phi in phis}
+        for pred_label in cfg.preds[block.label]:
+            moves = []
+            for phi in phis:
+                for src, lbl in zip(phi.srcs, phi.phi_labels):
+                    if lbl == pred_label and src != phi.dsts[0]:
+                        moves.append((phi.dsts[0], src))
+            if not moves:
+                continue
+            pred = fn.block(pred_label)
+            insert_at = len(pred.instructions)
+            if pred.terminator is not None:
+                insert_at -= 1
+            hazard = any(src in dsts for _, src in moves)
+            seq: List[Instruction] = []
+            if hazard:
+                temps = []
+                for dst, src in moves:
+                    tmp = fn.new_vreg(dst.rclass)
+                    seq.append(make_move(tmp, src))
+                    temps.append((dst, tmp))
+                for dst, tmp in temps:
+                    seq.append(make_move(dst, tmp))
+            else:
+                seq = [make_move(dst, src) for dst, src in moves]
+            pred.instructions[insert_at:insert_at] = seq
+        block.instructions = [i for i in block.instructions if not i.is_phi]
+
+
+def is_ssa(fn: Function) -> bool:
+    """True when every virtual register has at most one definition."""
+    seen: Set[VirtualReg] = set()
+    for block in fn.blocks:
+        for instr in block.instructions:
+            for reg in instr.dsts:
+                if isinstance(reg, VirtualReg):
+                    if reg in seen:
+                        return False
+                    seen.add(reg)
+    return True

@@ -1,0 +1,145 @@
+"""Liveness and interference over spill-memory webs.
+
+Implements the paper's redefined liveness (section 3.1): a spill
+location m is *live* at point p if some path from p reaches a load of m
+before another store to m; m is *defined* by a store and *used* by a
+load.  The interference graph built from this tells the allocators which
+webs may share a CCM (or stack) location.
+
+The same walk also records, per call site, the set of webs live across
+the call — the input both to the intraprocedural rule ("only promote
+values not live across any call") and to the interprocedural high-water
+discipline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..analysis import CFG, LoopInfo
+from ..ir import Function, Opcode, SPILL_LOADS, SPILL_STORES
+from .slots import Site, SpillWeb
+
+
+@dataclass
+class WebInterference:
+    """Interference graph over webs plus call-crossing information."""
+
+    webs: List[SpillWeb]
+    adj: Dict[int, Set[int]] = field(default_factory=lambda: defaultdict(set))
+    #: web ids live across at least one call instruction
+    live_across_call: Set[int] = field(default_factory=set)
+    #: call-site -> (callee name, web ids live across that call)
+    calls_crossed: Dict[Site, Tuple[str, Set[int]]] = field(default_factory=dict)
+    #: static (loop-weighted) cost of each web's spill traffic
+    costs: Dict[int, float] = field(default_factory=dict)
+
+    def interferes(self, a: int, b: int) -> bool:
+        return b in self.adj.get(a, ())
+
+    def neighbors(self, web_id: int) -> Set[int]:
+        return self.adj.get(web_id, set())
+
+    def add_edge(self, a: int, b: int) -> None:
+        if a != b:
+            self.adj[a].add(b)
+            self.adj[b].add(a)
+
+
+def analyze_webs(fn: Function, webs: List[SpillWeb],
+                 loop_info: LoopInfo = None,
+                 block_profile: Dict[str, int] = None) -> WebInterference:
+    """Backward liveness over webs; returns the interference structure.
+
+    Costs default to the static Chaitin estimate (10^loop-depth per
+    site); passing ``block_profile`` — measured per-block execution
+    counts, e.g. from ``Simulator(profile=True)`` — switches to
+    profile-guided costs, so the CCM packing order reflects reality
+    rather than the loop-nest heuristic.
+    """
+    result = WebInterference(webs)
+    if not webs:
+        return result
+    cfg = CFG(fn)
+    loops = loop_info or LoopInfo(fn)
+    # consistent with find_spill_webs: code in unreachable blocks never
+    # executes, so it neither generates liveness nor interference
+    reachable = cfg.reachable()
+
+    def site_weight(label: str) -> float:
+        if block_profile is not None:
+            return float(block_profile.get(label, 0))
+        return loops.block_frequency(label)
+
+    web_of_store: Dict[Site, int] = {}
+    web_of_load: Dict[Site, int] = {}
+    for web in webs:
+        for site in web.stores:
+            web_of_store[site] = web.web_id
+        for site in web.loads:
+            web_of_load[site] = web.web_id
+        weight = sum(site_weight(label) for label, _ in web.sites)
+        result.costs[web.web_id] = weight
+
+    # per-block gen (upward-exposed loads) / kill (stores) over web ids
+    gen: Dict[str, Set[int]] = {}
+    kill: Dict[str, Set[int]] = {}
+    for block in fn.blocks:
+        g: Set[int] = set()
+        k: Set[int] = set()
+        if block.label in reachable:
+            for idx, instr in enumerate(block.instructions):
+                site = (block.label, idx)
+                if site in web_of_load and web_of_load[site] not in k:
+                    g.add(web_of_load[site])
+                if site in web_of_store:
+                    k.add(web_of_store[site])
+        gen[block.label] = g
+        kill[block.label] = k
+
+    live_in: Dict[str, Set[int]] = {b.label: set() for b in fn.blocks}
+    live_out: Dict[str, Set[int]] = {b.label: set() for b in fn.blocks}
+    worklist = deque(cfg.postorder())
+    queued = set(worklist)
+    while worklist:
+        label = worklist.popleft()
+        queued.discard(label)
+        out: Set[int] = set()
+        for succ in cfg.succs[label]:
+            out |= live_in[succ]
+        new_in = gen[label] | (out - kill[label])
+        if out != live_out[label] or new_in != live_in[label]:
+            live_out[label] = out
+            live_in[label] = new_in
+            for pred in cfg.preds[label]:
+                if pred not in queued:
+                    worklist.append(pred)
+                    queued.add(pred)
+
+    # webs live simultaneously at entry (upward-exposed) interfere
+    entry_live = list(live_in[fn.entry.label])
+    for i, a in enumerate(entry_live):
+        for b in entry_live[i + 1:]:
+            result.add_edge(a, b)
+
+    # instruction-level backward walk: edges at defs, call crossings
+    for block in fn.blocks:
+        if block.label not in reachable:
+            continue
+        live = set(live_out[block.label])
+        for idx in range(len(block.instructions) - 1, -1, -1):
+            instr = block.instructions[idx]
+            site = (block.label, idx)
+            if instr.opcode is Opcode.CALL:
+                result.live_across_call |= live
+                result.calls_crossed[site] = (instr.symbol, set(live))
+            if site in web_of_store:
+                web_id = web_of_store[site]
+                for other in live:
+                    result.add_edge(web_id, other)
+                live.discard(web_id)
+            if site in web_of_load:
+                live.add(web_of_load[site])
+    return result

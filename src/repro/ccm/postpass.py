@@ -1,0 +1,221 @@
+"""The post-pass CCM allocator (paper section 3.1, Figure 1).
+
+Runs after traditional register allocation on fully allocated, scheduled
+code; discovers the spill webs, analyzes their liveness and
+interference, and redirects a safe, profitable subset into the
+size-limited CCM.  Webs that do not fit stay as heavyweight stack
+spills — "conservative, but safe."
+
+Two variants, both from the paper:
+
+* **intraprocedural** — no interprocedural information; only webs not
+  live across *any* call are eligible, so a web can never be resident in
+  the CCM while another procedure runs.
+* **interprocedural** — a bottom-up walk over the call graph.  Each
+  processed procedure records its CCM high-water mark; a caller may
+  place a web that is live across a call to ``q`` only above ``q``'s
+  high-water mark.  Procedures in call-graph cycles are conservatively
+  marked as using the entire CCM (their callers can promote nothing
+  across calls into the cycle), though their own not-live-across-call
+  webs remain safely promotable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..analysis import CallGraph
+from ..ir import Function, Program, TO_CCM
+from ..machine import MachineConfig
+from .assign import assign_webs
+from .mem_liveness import WebInterference, analyze_webs
+from .slots import SpillWeb, find_spill_webs
+
+
+@dataclass
+class FunctionPromotion:
+    """What promotion did to one function."""
+
+    fn_name: str
+    n_webs: int = 0
+    promoted: List[SpillWeb] = field(default_factory=list)
+    heavyweight: List[SpillWeb] = field(default_factory=list)
+    offsets: Dict[int, int] = field(default_factory=dict)
+    high_water: int = 0
+    recursive: bool = False
+
+    @property
+    def ccm_bytes_used(self) -> int:
+        if not self.offsets:
+            return 0
+        by_id = {w.web_id: w for w in self.promoted}
+        return max(off + by_id[wid].size for wid, off in self.offsets.items())
+
+
+@dataclass
+class PromotionReport:
+    """Program-level summary of a post-pass promotion run."""
+
+    interprocedural: bool
+    ccm_bytes: int
+    functions: Dict[str, FunctionPromotion] = field(default_factory=dict)
+
+    @property
+    def total_promoted(self) -> int:
+        return sum(len(f.promoted) for f in self.functions.values())
+
+    @property
+    def total_heavyweight(self) -> int:
+        return sum(len(f.heavyweight) for f in self.functions.values())
+
+
+def promote_function(fn: Function, ccm_bytes: int,
+                     callee_high_water: Optional[Dict[str, int]] = None,
+                     block_profile: Optional[Dict[str, int]] = None
+                     ) -> FunctionPromotion:
+    """Promote one function's spill webs into a CCM of ``ccm_bytes``.
+
+    ``callee_high_water`` maps callee names to their CCM usage; None
+    selects the intraprocedural rule (nothing live across calls is
+    promoted).  ``block_profile`` switches web costs from the static
+    loop-depth estimate to measured block execution counts
+    (profile-guided promotion).
+    """
+    result = FunctionPromotion(fn.name)
+    webs = find_spill_webs(fn)
+    result.n_webs = len(webs)
+    if not webs:
+        return result
+    interference = analyze_webs(fn, webs, block_profile=block_profile)
+
+    eligible: List[SpillWeb] = []
+    min_start: Dict[int, int] = {}
+    for web in webs:
+        if web.upward_exposed or not web.stores or not web.loads:
+            result.heavyweight.append(web)
+            continue
+        if web.web_id not in interference.live_across_call:
+            eligible.append(web)
+            min_start[web.web_id] = 0
+            continue
+        if callee_high_water is None:
+            result.heavyweight.append(web)  # intraprocedural rule
+            continue
+        # interprocedural: start above the high-water mark of every
+        # callee the web is live across
+        start = 0
+        feasible = True
+        for _, (callee, live_ids) in interference.calls_crossed.items():
+            if web.web_id in live_ids:
+                hw = callee_high_water.get(callee, ccm_bytes)
+                start = max(start, hw)
+                if start >= ccm_bytes:
+                    feasible = False
+                    break
+        if not feasible:
+            result.heavyweight.append(web)
+            continue
+        eligible.append(web)
+        min_start[web.web_id] = start
+
+    placement = assign_webs(eligible, interference, ccm_bytes, min_start)
+    placed_ids = set(placement)
+    for web in eligible:
+        if web.web_id in placed_ids:
+            result.promoted.append(web)
+        else:
+            result.heavyweight.append(web)
+    result.offsets = placement
+
+    _rewrite_promoted(fn, result)
+    result.high_water = result.ccm_bytes_used
+    return result
+
+
+def _rewrite_promoted(fn: Function, promotion: FunctionPromotion) -> None:
+    """Redirect the promoted webs' spill instructions into the CCM."""
+    for web in promotion.promoted:
+        offset = promotion.offsets[web.web_id]
+        for label, idx in web.sites:
+            instr = fn.block(label).instructions[idx]
+            instr.opcode = TO_CCM[instr.opcode]
+            instr.imm = offset
+
+
+def promote_spills_postpass(program: Program, machine: MachineConfig,
+                            interprocedural: bool = False,
+                            compact_heavyweights: bool = False
+                            ) -> PromotionReport:
+    """Run the post-pass CCM allocator over a whole program (Figure 1).
+
+    ``compact_heavyweights`` applies the paper's footnote 3: after
+    promotion, the spills left in main memory are re-colored so they are
+    "packed tightly together and so use the least memory necessary."
+    """
+    report = PromotionReport(interprocedural, machine.ccm_bytes)
+
+    def finish(fn: Function) -> None:
+        if compact_heavyweights:
+            from .compaction import compact_spill_memory
+
+            compact_spill_memory(fn)
+
+    if not interprocedural:
+        for name, fn in program.functions.items():
+            promotion = promote_function(fn, machine.ccm_bytes,
+                                         callee_high_water=None)
+            fn.ccm_high_water = promotion.high_water
+            report.functions[name] = promotion
+            finish(fn)
+        return report
+
+    graph = CallGraph(program)
+    recursive = graph.recursive_functions()
+    high_water: Dict[str, int] = {}
+    for name in graph.bottom_up_order():
+        fn = program.functions[name]
+        promotion = promote_function(fn, machine.ccm_bytes,
+                                     callee_high_water=high_water)
+        promotion.recursive = name in recursive
+        report.functions[name] = promotion
+        own = promotion.high_water
+        nested = max((high_water.get(callee, machine.ccm_bytes)
+                      for callee in graph.callees[name]), default=0)
+        if name in recursive:
+            # conservative: a cycle is marked as using the full CCM
+            high_water[name] = machine.ccm_bytes
+        else:
+            high_water[name] = max(own, nested)
+        fn.ccm_high_water = high_water[name]
+        finish(fn)
+    return report
+
+
+def promote_spills_profiled(program: Program, machine: MachineConfig,
+                            entry_args: Optional[list] = None
+                            ) -> PromotionReport:
+    """Profile-guided intraprocedural promotion: run the program once to
+    measure block execution counts, then promote with measured costs.
+
+    This is the natural extension of the paper's static cost model — on
+    code whose hot paths the 10^depth heuristic mispredicts (rarely
+    taken branches inside loops), the profile keeps cold webs out of a
+    tight CCM.
+    """
+    from ..machine import Simulator
+
+    sim = Simulator(program, machine, poison_caller_saved=True, profile=True)
+    stats = sim.run(args=entry_args or []).stats
+    counts = stats.block_counts or {}
+
+    report = PromotionReport(False, machine.ccm_bytes)
+    for name, fn in program.functions.items():
+        profile = {label: count for (fn_name, label), count in counts.items()
+                   if fn_name == name}
+        promotion = promote_function(fn, machine.ccm_bytes,
+                                     callee_high_water=None,
+                                     block_profile=profile)
+        fn.ccm_high_water = promotion.high_water
+        report.functions[name] = promotion
+    return report

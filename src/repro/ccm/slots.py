@@ -1,0 +1,193 @@
+"""Spill-slot discovery and live-range webs over spill memory.
+
+The paper's post-pass allocator "rewrites spill instructions with
+symbolic names ... builds SSA on the spill locations [and] live-range
+names" (Figure 1).  The *result* of that construction is the set of
+memory live ranges: maximal groups of spill stores and loads that must
+share a location.  This module computes the same objects directly with a
+reaching-stores analysis plus union-find — each load is unioned with
+every store that reaches it, exactly the webs SSA live-range formation
+would produce.  The equivalence is property-tested in the suite.
+
+A web records its stack offset, its store and load sites, and the value
+class (which fixes its size: 4-byte int / 8-byte float, the unit of CCM
+packing).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..analysis import CFG
+from ..ir import (Function, Instruction, Opcode, RegClass, SPILL_LOADS,
+                  SPILL_STORES)
+
+Site = Tuple[str, int]  # (block label, instruction index)
+
+
+@dataclass
+class SpillWeb:
+    """One live range of spill memory (the unit of CCM promotion)."""
+
+    web_id: int
+    offset: int
+    rclass: RegClass
+    stores: List[Site] = field(default_factory=list)
+    loads: List[Site] = field(default_factory=list)
+    #: True when some load may execute before any store (conservative
+    #: webs are never promoted: their initial value lives on the stack).
+    upward_exposed: bool = False
+
+    @property
+    def size(self) -> int:
+        return self.rclass.size_bytes
+
+    @property
+    def sites(self) -> List[Site]:
+        return self.stores + self.loads
+
+    def __repr__(self) -> str:
+        return (f"<SpillWeb #{self.web_id} off={self.offset} "
+                f"{self.rclass.value} s={len(self.stores)} l={len(self.loads)}>")
+
+
+def _slot_class(instr: Instruction) -> RegClass:
+    if instr.opcode in (Opcode.SPILL, Opcode.RELOAD):
+        return RegClass.INT
+    return RegClass.FLOAT
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict = {}
+
+    def find(self, x):
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def find_spill_webs(fn: Function) -> List[SpillWeb]:
+    """Group the function's stack-spill instructions into webs."""
+    cfg = CFG(fn)
+    stores: Dict[Site, int] = {}
+    loads: Dict[Site, int] = {}
+    classes: Dict[int, RegClass] = {}
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instructions):
+            if instr.opcode in SPILL_STORES:
+                stores[(block.label, idx)] = instr.imm
+                classes[instr.imm] = _slot_class(instr)
+            elif instr.opcode in SPILL_LOADS:
+                loads[(block.label, idx)] = instr.imm
+                classes.setdefault(instr.imm, _slot_class(instr))
+    if not stores and not loads:
+        return []
+
+    # forward reaching-stores analysis: per offset, the set of store
+    # sites whose value may occupy the slot.  Each offset gets its own
+    # synthetic entry definition: upward-exposed loads of *different*
+    # slots must not be unioned into one web.
+    def entry_def(offset: int) -> Site:
+        return ("<entry>", offset)
+
+    blocks = {b.label: b for b in fn.blocks}
+    state_in: Dict[str, Dict[int, FrozenSet[Site]]] = {
+        b.label: {} for b in fn.blocks}
+    entry_label = fn.entry.label
+    state_in[entry_label] = {off: frozenset([entry_def(off)])
+                             for off in classes}
+
+    def transfer(label: str) -> Dict[int, FrozenSet[Site]]:
+        state = dict(state_in[label])
+        for idx, instr in enumerate(blocks[label].instructions):
+            site = (label, idx)
+            if site in stores:
+                state[stores[site]] = frozenset([site])
+        return state
+
+    worklist = deque(cfg.reverse_postorder())
+    queued = set(worklist)
+    while worklist:
+        label = worklist.popleft()
+        queued.discard(label)
+        out = transfer(label)
+        for succ in cfg.succs[label]:
+            merged = dict(state_in[succ])
+            changed = False
+            for off, sites in out.items():
+                combined = merged.get(off, frozenset()) | sites
+                if combined != merged.get(off, frozenset()):
+                    merged[off] = combined
+                    changed = True
+            if changed:
+                state_in[succ] = merged
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+
+    # union loads with their reaching stores
+    uf = _UnionFind()
+    load_reaching: Dict[Site, FrozenSet[Site]] = {}
+    reachable = set(cfg.reverse_postorder())
+    for label in cfg.reverse_postorder():
+        state = dict(state_in[label])
+        for idx, instr in enumerate(blocks[label].instructions):
+            site = (label, idx)
+            if site in loads:
+                offset = loads[site]
+                reaching = state.get(offset, frozenset([entry_def(offset)]))
+                load_reaching[site] = reaching
+                anchor = ("load", site)
+                uf.find(anchor)
+                for s in reaching:
+                    is_entry = s[0] == "<entry>"
+                    uf.union(anchor, s if is_entry else ("store", s))
+            if site in stores:
+                state[stores[site]] = frozenset([site])
+    # sites in unreachable blocks never execute; keep them as webs (so
+    # rewriting passes still see every spill instruction) but mark them
+    # upward-exposed, which exempts them from promotion
+    for site, offset in loads.items():
+        if site[0] not in reachable:
+            load_reaching[site] = frozenset([entry_def(offset)])
+            uf.union(("load", site), entry_def(offset))
+
+    # materialize webs
+    groups: Dict[object, SpillWeb] = {}
+    next_id = [0]
+
+    def web_for(root, offset: int) -> SpillWeb:
+        if root not in groups:
+            groups[root] = SpillWeb(next_id[0], offset, classes[offset])
+            next_id[0] += 1
+        return groups[root]
+
+    for site, offset in stores.items():
+        root = uf.find(("store", site))
+        web = web_for(root, offset)
+        web.stores.append(site)
+    for site, offset in loads.items():
+        root = uf.find(("load", site))
+        web = web_for(root, offset)
+        web.loads.append(site)
+        if any(s[0] == "<entry>" for s in load_reaching[site]):
+            web.upward_exposed = True
+    # any group unioned with a synthetic entry def is upward-exposed
+    entry_roots = {uf.find(entry_def(off)) for off in classes
+                   if entry_def(off) in uf.parent}
+    for root, web in groups.items():
+        if uf.find(root) in entry_roots:
+            web.upward_exposed = True
+    return sorted(groups.values(), key=lambda w: w.web_id)

@@ -1,0 +1,12 @@
+"""MFL: the small Fortran-flavored front-end language of the suite."""
+
+from . import ast
+from .lexer import LexError, Token, tokenize
+from .lower import MflTypeError, compile_source, lower_module
+from .parser import MflSyntaxError, Parser, parse_source
+
+__all__ = [
+    "ast", "LexError", "Token", "tokenize", "MflTypeError",
+    "compile_source", "lower_module", "MflSyntaxError", "Parser",
+    "parse_source",
+]

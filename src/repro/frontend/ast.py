@@ -1,0 +1,174 @@
+"""Abstract syntax for MFL ("Mini-Fortran-Like"), the front-end language.
+
+MFL exists because the paper's workloads are Fortran numeric kernels:
+scalar-heavy loop nests over global (COMMON-block-style) arrays.  The
+language is deliberately small — int/float scalars, global arrays,
+while/for/if, calls — but expressive enough to write every routine in
+the reproduction suite as readable source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..ir import RegClass
+
+
+# -- expressions --------------------------------------------------------------
+
+@dataclass
+class Expr:
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class Index(Expr):
+    """Global array element: ``A[i]``."""
+
+    array: str
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str          # "-" | "!"
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str          # + - * / % < <= > >= == != && || & | ^ << >>
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: str
+    args: List[Expr]
+
+
+@dataclass
+class Convert(Expr):
+    """Explicit conversion: ``float(x)`` or ``int(x)``."""
+
+    target: str      # "int" | "float"
+    operand: Expr
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    type_name: str   # "int" | "float"
+    init: Optional[Expr]
+
+
+@dataclass
+class Assign(Stmt):
+    target: str
+    value: Expr
+
+
+@dataclass
+class StoreStmt(Stmt):
+    """``A[i] = expr``."""
+
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class For(Stmt):
+    """``for (i = a; i < b; i = i + s)`` sugar, stored desugared-ready."""
+
+    var: str
+    start: Expr
+    cond: Expr
+    step: Stmt
+    body: List[Stmt]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+# -- top level ------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    type_name: str
+
+    @property
+    def rclass(self) -> RegClass:
+        return RegClass.INT if self.type_name == "int" else RegClass.FLOAT
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: List[Param]
+    return_type: Optional[str]   # None for void
+    body: List[Stmt]
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    type_name: str
+    length: int
+    init: Optional[List] = None
+
+    @property
+    def rclass(self) -> RegClass:
+        return RegClass.INT if self.type_name == "int" else RegClass.FLOAT
+
+
+@dataclass
+class Module:
+    name: str
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,61 @@
+"""Tokenizer for MFL source."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "global", "func", "var", "if", "else", "while", "for", "return",
+    "int", "float",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<float>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%<>=!&|^(){}\[\],:;])
+""", re.VERBOSE)
+
+
+class LexError(ValueError):
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str    # "int" | "float" | "name" | "kw" | "op" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise LexError(line, f"unexpected character {source[pos]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "name" and text in KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens

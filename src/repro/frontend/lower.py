@@ -1,0 +1,310 @@
+"""Lowering from the MFL AST to the ILOC-like IR.
+
+Each scalar variable becomes one (mutable) virtual register; the scalar
+optimizer's SSA construction takes it from there.  Array accesses lower
+to explicit address arithmetic over the global's base address — the
+address computations the paper's section 2.2 worries about are real
+instructions here, visible to GVN and to the allocator.
+
+Typing is strict and simple: ``int`` and ``float`` never mix without an
+explicit ``int(...)`` / ``float(...)`` conversion; comparisons yield
+``int`` 0/1; ``&&``/``||`` are non-short-circuit bitwise forms over 0/1
+operands (sufficient for the kernel suite, documented here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import (Function, GlobalArray, IRBuilder, Instruction, Opcode,
+                  Program, RegClass, VirtualReg)
+from . import ast as A
+
+
+class MflTypeError(ValueError):
+    """A type or name error in MFL source."""
+
+
+_INT_CMP = {"<": Opcode.CMPLT, "<=": Opcode.CMPLE, ">": Opcode.CMPGT,
+            ">=": Opcode.CMPGE, "==": Opcode.CMPEQ, "!=": Opcode.CMPNE}
+_FLOAT_CMP = {"<": Opcode.FCMPLT, "<=": Opcode.FCMPLE, ">": Opcode.FCMPGT,
+              ">=": Opcode.FCMPGE, "==": Opcode.FCMPEQ, "!=": Opcode.FCMPNE}
+_INT_ARITH = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MULT,
+              "/": Opcode.DIV, "%": Opcode.MOD, "&": Opcode.AND,
+              "|": Opcode.OR, "^": Opcode.XOR, "<<": Opcode.LSHIFT,
+              ">>": Opcode.RSHIFT, "&&": Opcode.AND, "||": Opcode.OR}
+_FLOAT_ARITH = {"+": Opcode.FADD, "-": Opcode.FSUB, "*": Opcode.FMULT,
+                "/": Opcode.FDIV}
+
+
+class _FunctionLowering:
+    def __init__(self, module: A.Module, decl: A.FuncDecl,
+                 signatures: Dict[str, Tuple[List[str], Optional[str]]],
+                 globals_: Dict[str, A.GlobalDecl]):
+        self.module = module
+        self.decl = decl
+        self.signatures = signatures
+        self.globals = globals_
+        self.fn = Function(decl.name)
+        self.builder = IRBuilder(self.fn)
+        self.env: Dict[str, Tuple[VirtualReg, str]] = {}
+
+    def lower(self) -> Function:
+        params = []
+        for param in self.decl.params:
+            reg = self.fn.new_vreg(param.rclass)
+            params.append(reg)
+            self.env[param.name] = (reg, param.type_name)
+        self.fn.params = params
+        self.fn.return_class = (None if self.decl.return_type is None else
+                                (RegClass.INT if self.decl.return_type == "int"
+                                 else RegClass.FLOAT))
+        self.builder.new_block("entry")
+        self.lower_body(self.decl.body)
+        self._finish_blocks()
+        return self.fn
+
+    def _finish_blocks(self) -> None:
+        """Drop unreachable continuation blocks, then terminate the rest."""
+        from ..analysis import remove_unreachable_blocks
+
+        remove_unreachable_blocks(self.fn)
+        for block in self.fn.blocks:
+            if block.terminator is None:
+                if self.decl.return_type is not None:
+                    raise MflTypeError(
+                        f"{self.decl.name}: control may reach the end of a "
+                        f"function returning {self.decl.return_type}")
+                block.append(Instruction(Opcode.RET))
+
+    # -- statements ---------------------------------------------------------------
+
+    def lower_body(self, body: List[A.Stmt]) -> None:
+        for stmt in body:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: A.Stmt) -> None:
+        b = self.builder
+        if isinstance(stmt, A.VarDecl):
+            if stmt.name in self.env:
+                raise MflTypeError(f"redeclaration of {stmt.name!r}")
+            rclass = RegClass.INT if stmt.type_name == "int" else RegClass.FLOAT
+            reg = self.fn.new_vreg(rclass)
+            self.env[stmt.name] = (reg, stmt.type_name)
+            if stmt.init is not None:
+                value, vtype = self.lower_expr(stmt.init)
+                self._check(vtype, stmt.type_name,
+                            f"initializer of {stmt.name!r}")
+                self._move_into(reg, value)
+            else:
+                if rclass is RegClass.INT:
+                    b.loadi(0, dst=reg)
+                else:
+                    b.loadfi(0.0, dst=reg)
+        elif isinstance(stmt, A.Assign):
+            if stmt.target not in self.env:
+                raise MflTypeError(f"assignment to undeclared {stmt.target!r}")
+            reg, ttype = self.env[stmt.target]
+            value, vtype = self.lower_expr(stmt.value)
+            self._check(vtype, ttype, f"assignment to {stmt.target!r}")
+            self._move_into(reg, value)
+        elif isinstance(stmt, A.StoreStmt):
+            addr, etype = self._element_address(stmt.array, stmt.index)
+            value, vtype = self.lower_expr(stmt.value)
+            self._check(vtype, etype, f"store to {stmt.array!r}")
+            if etype == "int":
+                b.store(value, addr)
+            else:
+                b.fstore(value, addr)
+        elif isinstance(stmt, A.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, A.For):
+            self.lower_stmt(A.Assign(stmt.var, stmt.start))
+            self._lower_while(A.While(stmt.cond, list(stmt.body) + [stmt.step]))
+        elif isinstance(stmt, A.Return):
+            if stmt.value is None:
+                if self.decl.return_type is not None:
+                    raise MflTypeError(
+                        f"{self.decl.name}: return without a value")
+                b.ret()
+            else:
+                value, vtype = self.lower_expr(stmt.value)
+                self._check(vtype, self.decl.return_type,
+                            f"return from {self.decl.name}")
+                b.ret(value)
+            b.new_block("dead")  # unreachable continuation, pruned later
+        elif isinstance(stmt, A.ExprStmt):
+            self.lower_expr(stmt.expr, allow_void=True)
+        else:
+            raise MflTypeError(f"unknown statement {stmt!r}")
+
+    def _lower_if(self, stmt: A.If) -> None:
+        b = self.builder
+        cond, ctype = self.lower_expr(stmt.cond)
+        self._check(ctype, "int", "if condition")
+        then_block = self.fn.new_block("then")
+        join_block = self.fn.new_block("join")
+        else_block = self.fn.new_block("else") if stmt.else_body else join_block
+        b.cbr(cond, then_block.label, else_block.label)
+        b.position_at(then_block)
+        self.lower_body(stmt.then_body)
+        if b.block.terminator is None:
+            b.jump(join_block.label)
+        if stmt.else_body:
+            b.position_at(else_block)
+            self.lower_body(stmt.else_body)
+            if b.block.terminator is None:
+                b.jump(join_block.label)
+        b.position_at(join_block)
+
+    def _lower_while(self, stmt: A.While) -> None:
+        b = self.builder
+        head = self.fn.new_block("head")
+        body = self.fn.new_block("body")
+        exit_block = self.fn.new_block("exit")
+        b.jump(head.label)
+        b.position_at(head)
+        cond, ctype = self.lower_expr(stmt.cond)
+        self._check(ctype, "int", "while condition")
+        b.cbr(cond, body.label, exit_block.label)
+        b.position_at(body)
+        self.lower_body(stmt.body)
+        if b.block.terminator is None:
+            b.jump(head.label)
+        b.position_at(exit_block)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def lower_expr(self, expr: A.Expr, allow_void: bool = False):
+        b = self.builder
+        if isinstance(expr, A.IntLit):
+            return b.loadi(expr.value), "int"
+        if isinstance(expr, A.FloatLit):
+            return b.loadfi(expr.value), "float"
+        if isinstance(expr, A.VarRef):
+            if expr.name not in self.env:
+                raise MflTypeError(f"use of undeclared {expr.name!r}")
+            return self.env[expr.name]
+        if isinstance(expr, A.Index):
+            addr, etype = self._element_address(expr.array, expr.index)
+            if etype == "int":
+                return b.load(addr), "int"
+            return b.fload(addr), "float"
+        if isinstance(expr, A.Unary):
+            value, vtype = self.lower_expr(expr.operand)
+            if expr.op == "-":
+                if vtype == "float":
+                    return b.fneg(value), "float"
+                zero = b.loadi(0)
+                return b.sub(zero, value), "int"
+            self._check(vtype, "int", "operand of '!'")
+            zero = b.loadi(0)
+            return b.cmp(Opcode.CMPEQ, value, zero), "int"
+        if isinstance(expr, A.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, A.Convert):
+            value, vtype = self.lower_expr(expr.operand)
+            if expr.target == vtype:
+                return value, vtype
+            if expr.target == "float":
+                return b.i2f(value), "float"
+            return b.f2i(value), "int"
+        if isinstance(expr, A.Call):
+            return self._lower_call(expr, allow_void)
+        raise MflTypeError(f"unknown expression {expr!r}")
+
+    def _lower_binary(self, expr: A.Binary):
+        b = self.builder
+        left, ltype = self.lower_expr(expr.left)
+        right, rtype = self.lower_expr(expr.right)
+        if ltype != rtype:
+            raise MflTypeError(
+                f"operator {expr.op!r} applied to {ltype} and {rtype}; "
+                f"use int(...)/float(...) to convert")
+        if expr.op in _INT_CMP:
+            table = _INT_CMP if ltype == "int" else _FLOAT_CMP
+            return b.cmp(table[expr.op], left, right), "int"
+        if ltype == "int":
+            opcode = _INT_ARITH.get(expr.op)
+            if opcode is None:
+                raise MflTypeError(f"operator {expr.op!r} undefined on int")
+            dst = self.fn.new_vreg(RegClass.INT)
+            b.emit(Instruction(opcode, [dst], [left, right]))
+            return dst, "int"
+        opcode = _FLOAT_ARITH.get(expr.op)
+        if opcode is None:
+            raise MflTypeError(f"operator {expr.op!r} undefined on float")
+        dst = self.fn.new_vreg(RegClass.FLOAT)
+        b.emit(Instruction(opcode, [dst], [left, right]))
+        return dst, "float"
+
+    def _lower_call(self, expr: A.Call, allow_void: bool):
+        if expr.callee not in self.signatures:
+            raise MflTypeError(f"call to unknown function {expr.callee!r}")
+        param_types, return_type = self.signatures[expr.callee]
+        if len(expr.args) != len(param_types):
+            raise MflTypeError(
+                f"{expr.callee} takes {len(param_types)} args, "
+                f"got {len(expr.args)}")
+        args = []
+        for arg, want in zip(expr.args, param_types):
+            value, vtype = self.lower_expr(arg)
+            self._check(vtype, want, f"argument of {expr.callee}")
+            args.append(value)
+        if return_type is None:
+            if not allow_void:
+                raise MflTypeError(
+                    f"void call to {expr.callee} used as a value")
+            self.builder.call(expr.callee, args)
+            return None, "void"
+        ret_class = RegClass.INT if return_type == "int" else RegClass.FLOAT
+        result = self.builder.call(expr.callee, args, ret_class)
+        return result, return_type
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _element_address(self, array: str, index: A.Expr):
+        if array not in self.globals:
+            raise MflTypeError(f"unknown array {array!r}")
+        decl = self.globals[array]
+        b = self.builder
+        idx, itype = self.lower_expr(index)
+        self._check(itype, "int", f"index into {array!r}")
+        base = b.loadg(array)
+        scaled = b.multi(idx, decl.rclass.size_bytes)
+        return b.add(base, scaled), decl.type_name
+
+    def _check(self, actual: str, expected: Optional[str], where: str) -> None:
+        if actual != expected:
+            raise MflTypeError(f"{where}: expected {expected}, got {actual}")
+
+    def _move_into(self, reg: VirtualReg, value: VirtualReg) -> None:
+        op = Opcode.MOV if reg.rclass is RegClass.INT else Opcode.FMOV
+        self.builder.emit(Instruction(op, [reg], [value]))
+
+
+def lower_module(module: A.Module) -> Program:
+    """Lower a parsed MFL module into an IR :class:`Program`."""
+    program = Program(module.name)
+    for decl in module.globals:
+        size = decl.length * decl.rclass.size_bytes
+        program.add_global(GlobalArray(decl.name, size, decl.rclass,
+                                       init=decl.init))
+    signatures = {
+        fn.name: ([p.type_name for p in fn.params], fn.return_type)
+        for fn in module.functions
+    }
+    globals_ = {g.name: g for g in module.globals}
+    for decl in module.functions:
+        lowering = _FunctionLowering(module, decl, signatures, globals_)
+        program.add_function(lowering.lower())
+    return program
+
+
+def compile_source(source: str, name: str = "module") -> Program:
+    """Parse and lower MFL source into an (unoptimized) IR program."""
+    from .parser import parse_source
+
+    return lower_module(parse_source(source, name))

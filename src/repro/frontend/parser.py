@@ -1,0 +1,329 @@
+"""Recursive-descent parser for MFL.
+
+Grammar (EBNF, precedence climbing for expressions)::
+
+    module    := (global | func)*
+    global    := "global" NAME ":" type "[" INT "]" ("=" literal_list)? ";"?
+    func      := "func" NAME "(" params? ")" (":" type)? block
+    params    := NAME ":" type ("," NAME ":" type)*
+    block     := "{" stmt* "}"
+    stmt      := "var" NAME ":" type ("=" expr)? ";"
+               | NAME "=" expr ";"
+               | NAME "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" (block | if_stmt))?
+               | "while" "(" expr ")" block
+               | "for" "(" NAME "=" expr ";" expr ";" NAME "=" expr ")" block
+               | "return" expr? ";"
+               | expr ";"
+    expr      := binary expression with C precedence
+    primary   := INT | FLOAT | NAME | NAME "(" args ")" | NAME "[" expr "]"
+               | "(" expr ")" | "-" primary | "!" primary
+               | ("int"|"float") "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (Assign, Binary, Call, Convert, Expr, ExprStmt, FloatLit,
+                  For, FuncDecl, GlobalDecl, If, Index, IntLit, Module,
+                  Param, Return, Stmt, StoreStmt, Unary, VarDecl, VarRef,
+                  While)
+from .lexer import Token, tokenize
+
+
+class MflSyntaxError(ValueError):
+    def __init__(self, token: Token, message: str):
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+_BINARY_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str, name: str = "module"):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.module = Module(name)
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise MflSyntaxError(self.current, f"expected {want!r}")
+        return self.advance()
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        while not self.check("eof"):
+            if self.check("kw", "global"):
+                self.module.globals.append(self.parse_global())
+            elif self.check("kw", "func"):
+                self.module.functions.append(self.parse_func())
+            else:
+                raise MflSyntaxError(self.current,
+                                     "expected 'global' or 'func'")
+        return self.module
+
+    def parse_global(self) -> GlobalDecl:
+        self.expect("kw", "global")
+        name = self.expect("name").text
+        self.expect("op", ":")
+        type_name = self.parse_type()
+        self.expect("op", "[")
+        length = int(self.expect("int").text)
+        self.expect("op", "]")
+        init = None
+        if self.accept("op", "="):
+            self.expect("op", "{")
+            init = []
+            while not self.check("op", "}"):
+                init.append(self.parse_number_literal(type_name))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", "}")
+        self.accept("op", ";")
+        return GlobalDecl(name, type_name, length, init)
+
+    def parse_number_literal(self, type_name: str):
+        negative = bool(self.accept("op", "-"))
+        token = self.advance()
+        if token.kind == "int":
+            value: object = int(token.text)
+        elif token.kind == "float":
+            value = float(token.text)
+        else:
+            raise MflSyntaxError(token, "expected a numeric literal")
+        if type_name == "float":
+            value = float(value)
+        return -value if negative else value
+
+    def parse_type(self) -> str:
+        token = self.expect("kw")
+        if token.text not in ("int", "float"):
+            raise MflSyntaxError(token, "expected a type")
+        return token.text
+
+    def parse_func(self) -> FuncDecl:
+        self.expect("kw", "func")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params: List[Param] = []
+        while not self.check("op", ")"):
+            pname = self.expect("name").text
+            self.expect("op", ":")
+            params.append(Param(pname, self.parse_type()))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return_type = None
+        if self.accept("op", ":"):
+            return_type = self.parse_type()
+        body = self.parse_block()
+        return FuncDecl(name, params, return_type, body)
+
+    # -- statements ----------------------------------------------------------------
+
+    def parse_block(self) -> List[Stmt]:
+        self.expect("op", "{")
+        body: List[Stmt] = []
+        while not self.check("op", "}"):
+            body.append(self.parse_stmt())
+        self.expect("op", "}")
+        return body
+
+    def parse_stmt(self) -> Stmt:
+        if self.check("kw", "var"):
+            return self.parse_var_decl()
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.check("kw", "while"):
+            return self.parse_while()
+        if self.check("kw", "for"):
+            return self.parse_for()
+        if self.check("kw", "return"):
+            self.advance()
+            value = None
+            if not self.check("op", ";") and not self.check("op", "}"):
+                value = self.parse_expr()
+            self.accept("op", ";")
+            return Return(value)
+        # assignment, array store, or expression statement
+        if self.check("name"):
+            name_token = self.advance()
+            if self.accept("op", "="):
+                value = self.parse_expr()
+                self.accept("op", ";")
+                return Assign(name_token.text, value)
+            if self.check("op", "[") and self._lookahead_is_store():
+                self.expect("op", "[")
+                index = self.parse_expr()
+                self.expect("op", "]")
+                self.expect("op", "=")
+                value = self.parse_expr()
+                self.accept("op", ";")
+                return StoreStmt(name_token.text, index, value)
+            # plain expression starting with a name: rewind and reparse
+            self.pos -= 1
+        expr = self.parse_expr()
+        self.accept("op", ";")
+        return ExprStmt(expr)
+
+    def _lookahead_is_store(self) -> bool:
+        """Distinguish ``A[i] = e;`` from the expression ``A[i] + ...``."""
+        depth = 0
+        index = self.pos  # current token is the opening "["
+        while index < len(self.tokens):
+            token = self.tokens[index]
+            if token.kind == "eof":
+                break
+            if token.kind == "op" and token.text == "[":
+                depth += 1
+            elif token.kind == "op" and token.text == "]":
+                depth -= 1
+                if depth == 0:
+                    after = self.tokens[index + 1]
+                    return after.kind == "op" and after.text == "="
+            index += 1
+        return False
+
+    def parse_var_decl(self) -> VarDecl:
+        self.expect("kw", "var")
+        name = self.expect("name").text
+        self.expect("op", ":")
+        type_name = self.parse_type()
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.accept("op", ";")
+        return VarDecl(name, type_name, init)
+
+    def parse_if(self) -> If:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: List[Stmt] = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return If(cond, then_body, else_body)
+
+    def parse_while(self) -> While:
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        return While(cond, self.parse_block())
+
+    def parse_for(self) -> For:
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        var = self.expect("name").text
+        self.expect("op", "=")
+        start = self.parse_expr()
+        self.expect("op", ";")
+        cond = self.parse_expr()
+        self.expect("op", ";")
+        step_name = self.expect("name").text
+        self.expect("op", "=")
+        step_value = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return For(var, start, cond, Assign(step_name, step_value), body)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expr(self, level: int = 0) -> Expr:
+        if level >= len(_BINARY_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        ops = _BINARY_PRECEDENCE[level]
+        while self.current.kind == "op" and self.current.text in ops:
+            op = self.advance().text
+            right = self.parse_expr(level + 1)
+            left = Binary(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("op", "-"):
+            return Unary("-", self.parse_unary())
+        if self.accept("op", "!"):
+            return Unary("!", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return IntLit(int(token.text))
+        if token.kind == "float":
+            self.advance()
+            return FloatLit(float(token.text))
+        if token.kind == "kw" and token.text in ("int", "float"):
+            self.advance()
+            self.expect("op", "(")
+            operand = self.parse_expr()
+            self.expect("op", ")")
+            return Convert(token.text, operand)
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "("):
+                args: List[Expr] = []
+                while not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+                return Call(token.text, args)
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return Index(token.text, index)
+            return VarRef(token.text)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise MflSyntaxError(token, "expected an expression")
+
+
+def parse_source(source: str, name: str = "module") -> Module:
+    """Parse MFL source text into a :class:`Module`."""
+    return Parser(source, name).parse_module()

@@ -1,0 +1,16 @@
+"""Experiment harness: variant compilation, simulation, tables, figures."""
+
+from .ablation import AblationResult, run_ablation
+from .experiment import (ExperimentRunner, VariantResult,
+                         compaction_measurements, compile_program, VARIANTS)
+from .tables import (CcmFitSummary, Figure, Table1, Table2, Table3, Table4,
+                     ccm_fit_summary, figure, program_runner, table1,
+                     table2, table3, table4)
+
+__all__ = [
+    "AblationResult", "run_ablation", "ExperimentRunner", "VariantResult",
+    "compaction_measurements", "compile_program", "VARIANTS",
+    "CcmFitSummary", "ccm_fit_summary", "Figure",
+    "Table1", "Table2", "Table3", "Table4", "figure", "program_runner",
+    "table1", "table2", "table3", "table4",
+]

@@ -1,0 +1,86 @@
+"""Command-line entry: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.harness table1
+    python -m repro.harness table2 [--ccm 512] [--routines a,b,c]
+    python -m repro.harness table3
+    python -m repro.harness table4
+    python -m repro.harness fig3
+    python -m repro.harness fig4
+    python -m repro.harness ablation
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .ablation import run_ablation
+from .experiment import ExperimentRunner
+from .tables import (figure, program_runner, table1, table2, table3, table4)
+
+
+def _routine_list(arg: Optional[str]) -> Optional[List[str]]:
+    if not arg:
+        return None
+    return [name.strip() for name in arg.split(",") if name.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ccm-harness",
+        description="Regenerate the tables and figures of "
+                    "'Compiler-Controlled Memory' (ASPLOS 1998)")
+    parser.add_argument("target",
+                        choices=["table1", "table2", "table3", "table4",
+                                 "fig3", "fig4", "ablation", "experiments",
+                                 "all"])
+    parser.add_argument("--ccm", type=int, default=512,
+                        help="CCM size in bytes for table2 (default 512)")
+    parser.add_argument("--routines", type=str, default="",
+                        help="comma-separated routine subset")
+    args = parser.parse_args(argv)
+
+    workloads = _routine_list(args.routines)
+    runner = ExperimentRunner()
+    start = time.time()
+
+    if args.target == "experiments":
+        from .report import main as report_main
+        return report_main()
+
+    targets = ([args.target] if args.target != "all" else
+               ["table1", "table2", "table3", "table4", "fig3", "fig4",
+                "ablation"])
+    for target in targets:
+        if target == "table1":
+            print(table1(workloads).format())
+        elif target == "table2":
+            print(table2(runner, args.ccm, workloads).format())
+        elif target == "table3":
+            print(table3(runner, workloads).format())
+        elif target == "table4":
+            print(table4(runner, workloads).format())
+        elif target == "fig3":
+            fig = figure(program_runner, 512)
+            print(fig.format())
+            print()
+            print(fig.render_bars())
+        elif target == "fig4":
+            fig = figure(program_runner, 1024)
+            print(fig.format())
+            print()
+            print(fig.render_bars())
+        elif target == "ablation":
+            print(run_ablation(workloads).format())
+        print()
+    print(f"[{time.time() - start:.0f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

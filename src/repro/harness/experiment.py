@@ -1,0 +1,156 @@
+"""Experiment runner: compile each workload under each allocator variant,
+simulate it, and collect the metrics the paper's tables report.
+
+Variants (the paper's four columns):
+
+* ``baseline``       — Chaitin-Briggs, all spills to the stack ("Without CCM")
+* ``postpass``       — baseline, then the intraprocedural post-pass CCM
+                       allocator ("Post-Pass")
+* ``postpass_cg``    — baseline, then the interprocedural post-pass
+                       allocator ("Post-Pass w/ Call Graph")
+* ``integrated``     — CCM spilling inside the allocator ("Integrated")
+
+Results are memoized per (workload, variant, CCM size) because every
+table and figure slices the same underlying runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ccm import (allocate_function_integrated, compact_spill_memory,
+                   promote_spills_postpass)
+from ..ir import Program, verify_program
+from ..machine import (DataCache, MachineConfig, RunStats, Simulator,
+                       PAPER_MACHINE_512, PAPER_MACHINE_1024)
+from ..opt import optimize_program
+from ..regalloc import allocate_function, lower_calling_convention
+from ..workloads.suite import build_routine, suite_names
+
+VARIANTS = ("baseline", "postpass", "postpass_cg", "integrated")
+
+
+@dataclass
+class VariantResult:
+    """One compiled+simulated configuration of one workload."""
+
+    workload: str
+    variant: str
+    ccm_bytes: int
+    value: object
+    stats: RunStats
+    spill_bytes: Dict[str, int] = field(default_factory=dict)
+    ccm_high_water: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def memory_cycles(self) -> int:
+        return self.stats.memory_cycles
+
+
+def compile_program(prog: Program, machine: MachineConfig,
+                    variant: str) -> None:
+    """Optimize, lower, and allocate every function of ``prog`` in place
+    under the given variant."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        lower_calling_convention(fn, machine)
+        if variant == "integrated":
+            allocate_function_integrated(fn, machine)
+        else:
+            allocate_function(fn, machine)
+    if variant == "postpass":
+        promote_spills_postpass(prog, machine, interprocedural=False)
+    elif variant == "postpass_cg":
+        promote_spills_postpass(prog, machine, interprocedural=True)
+    verify_program(prog)
+
+
+@dataclass
+class ExperimentRunner:
+    """Compiles and simulates workloads, with memoization."""
+
+    machine_512: MachineConfig = PAPER_MACHINE_512
+    machine_1024: MachineConfig = PAPER_MACHINE_1024
+    build: Callable[[str], Program] = None
+    verify_values: bool = True
+
+    def __post_init__(self):
+        if self.build is None:
+            self.build = build_routine
+        self._cache: Dict[Tuple[str, str, int], VariantResult] = {}
+        self._reference: Dict[str, object] = {}
+
+    def machine(self, ccm_bytes: int) -> MachineConfig:
+        if ccm_bytes == 512:
+            return self.machine_512
+        if ccm_bytes == 1024:
+            return self.machine_1024
+        return MachineConfig(ccm_bytes=ccm_bytes)
+
+    def reference_value(self, workload: str):
+        """Unoptimized, unallocated execution: the semantic ground truth."""
+        if workload not in self._reference:
+            prog = self.build(workload)
+            self._reference[workload] = Simulator(prog).run().value
+        return self._reference[workload]
+
+    def run(self, workload: str, variant: str,
+            ccm_bytes: int = 512, cache: Optional[DataCache] = None
+            ) -> VariantResult:
+        key = (workload, variant, ccm_bytes)
+        if cache is None and key in self._cache:
+            return self._cache[key]
+
+        machine = self.machine(ccm_bytes)
+        prog = self.build(workload)
+        compile_program(prog, machine, variant)
+        sim = Simulator(prog, machine, cache=cache, poison_caller_saved=True)
+        run = sim.run()
+        if self.verify_values:
+            ref = self.reference_value(workload)
+            if not _values_match(run.value, ref):
+                raise AssertionError(
+                    f"{workload}/{variant}: value {run.value!r} diverged "
+                    f"from reference {ref!r}")
+        result = VariantResult(
+            workload, variant, ccm_bytes, run.value, run.stats,
+            spill_bytes={name: fn.frame_size
+                         for name, fn in prog.functions.items()},
+            ccm_high_water={name: fn.ccm_high_water
+                            for name, fn in prog.functions.items()})
+        if cache is None:
+            self._cache[key] = result
+        return result
+
+    def run_all(self, variant: str, ccm_bytes: int = 512,
+                workloads: Optional[List[str]] = None) -> Dict[str, VariantResult]:
+        return {name: self.run(name, variant, ccm_bytes)
+                for name in (workloads or suite_names())}
+
+
+def _values_match(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        scale = max(1.0, abs(a), abs(b))
+        return abs(a - b) <= 1e-6 * scale
+    return a == b
+
+
+def compaction_measurements(workloads: Optional[List[str]] = None,
+                            machine: MachineConfig = PAPER_MACHINE_512):
+    """Table 1 data: per-routine spill bytes before/after compaction."""
+    from ..ccm.compaction import CompactionResult
+
+    results: List[CompactionResult] = []
+    for name in (workloads or suite_names()):
+        prog = build_routine(name)
+        compile_program(prog, machine, "baseline")
+        fn = prog.functions[name]
+        results.append(compact_spill_memory(fn))
+    return results

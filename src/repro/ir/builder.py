@@ -1,0 +1,199 @@
+"""A convenience builder for constructing IR by hand.
+
+Used by the front end's lowering pass, by the synthetic workload
+generator, and extensively by the test suite.  The builder tracks a
+current insertion block and exposes one method per opcode family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .function import BasicBlock, Function
+from .instructions import Instruction, make_move
+from .opcodes import Opcode
+from .operands import RegClass, VirtualReg
+
+
+class IRBuilder:
+    """Builds instructions into a :class:`Function`, block by block."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.block: Optional[BasicBlock] = None
+
+    # -- positioning ---------------------------------------------------------
+
+    def new_block(self, hint: str = "L") -> BasicBlock:
+        block = self.fn.new_block(hint)
+        self.block = block
+        return block
+
+    def position_at(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def emit(self, instr: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("no insertion block; call new_block() first")
+        return self.block.append(instr)
+
+    # -- fresh registers -------------------------------------------------------
+
+    def ireg(self) -> VirtualReg:
+        return self.fn.new_vreg(RegClass.INT)
+
+    def freg(self) -> VirtualReg:
+        return self.fn.new_vreg(RegClass.FLOAT)
+
+    # -- constants and moves ---------------------------------------------------
+
+    def loadi(self, value: int, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(Opcode.LOADI, [dst], [], imm=int(value)))
+        return dst
+
+    def loadfi(self, value: float, dst=None):
+        dst = dst or self.freg()
+        self.emit(Instruction(Opcode.LOADFI, [dst], [], imm=float(value)))
+        return dst
+
+    def loadg(self, symbol: str, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(Opcode.LOADG, [dst], [], symbol=symbol))
+        return dst
+
+    def mov(self, src, dst=None):
+        dst = dst or self.fn.new_vreg(src.rclass)
+        self.emit(make_move(dst, src))
+        return dst
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _binop(self, op: Opcode, a, b, dst, rclass: RegClass):
+        dst = dst or self.fn.new_vreg(rclass)
+        self.emit(Instruction(op, [dst], [a, b]))
+        return dst
+
+    def add(self, a, b, dst=None):
+        return self._binop(Opcode.ADD, a, b, dst, RegClass.INT)
+
+    def sub(self, a, b, dst=None):
+        return self._binop(Opcode.SUB, a, b, dst, RegClass.INT)
+
+    def mult(self, a, b, dst=None):
+        return self._binop(Opcode.MULT, a, b, dst, RegClass.INT)
+
+    def div(self, a, b, dst=None):
+        return self._binop(Opcode.DIV, a, b, dst, RegClass.INT)
+
+    def mod(self, a, b, dst=None):
+        return self._binop(Opcode.MOD, a, b, dst, RegClass.INT)
+
+    def addi(self, a, imm: int, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(Opcode.ADDI, [dst], [a], imm=int(imm)))
+        return dst
+
+    def subi(self, a, imm: int, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(Opcode.SUBI, [dst], [a], imm=int(imm)))
+        return dst
+
+    def multi(self, a, imm: int, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(Opcode.MULTI, [dst], [a], imm=int(imm)))
+        return dst
+
+    def fadd(self, a, b, dst=None):
+        return self._binop(Opcode.FADD, a, b, dst, RegClass.FLOAT)
+
+    def fsub(self, a, b, dst=None):
+        return self._binop(Opcode.FSUB, a, b, dst, RegClass.FLOAT)
+
+    def fmult(self, a, b, dst=None):
+        return self._binop(Opcode.FMULT, a, b, dst, RegClass.FLOAT)
+
+    def fdiv(self, a, b, dst=None):
+        return self._binop(Opcode.FDIV, a, b, dst, RegClass.FLOAT)
+
+    def fneg(self, a, dst=None):
+        dst = dst or self.freg()
+        self.emit(Instruction(Opcode.FNEG, [dst], [a]))
+        return dst
+
+    def i2f(self, a, dst=None):
+        dst = dst or self.freg()
+        self.emit(Instruction(Opcode.I2F, [dst], [a]))
+        return dst
+
+    def f2i(self, a, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(Opcode.F2I, [dst], [a]))
+        return dst
+
+    # -- comparisons -------------------------------------------------------------
+
+    def cmp(self, op: Opcode, a, b, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(op, [dst], [a, b]))
+        return dst
+
+    # -- memory --------------------------------------------------------------------
+
+    def load(self, addr, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(Opcode.LOAD, [dst], [addr]))
+        return dst
+
+    def fload(self, addr, dst=None):
+        dst = dst or self.freg()
+        self.emit(Instruction(Opcode.FLOAD, [dst], [addr]))
+        return dst
+
+    def store(self, src, addr):
+        self.emit(Instruction(Opcode.STORE, [], [src, addr]))
+
+    def fstore(self, src, addr):
+        self.emit(Instruction(Opcode.FSTORE, [], [src, addr]))
+
+    def loadai(self, addr, offset: int, dst=None):
+        dst = dst or self.ireg()
+        self.emit(Instruction(Opcode.LOADAI, [dst], [addr], imm=int(offset)))
+        return dst
+
+    def floadai(self, addr, offset: int, dst=None):
+        dst = dst or self.freg()
+        self.emit(Instruction(Opcode.FLOADAI, [dst], [addr], imm=int(offset)))
+        return dst
+
+    def storeai(self, src, addr, offset: int):
+        self.emit(Instruction(Opcode.STOREAI, [], [src, addr], imm=int(offset)))
+
+    def fstoreai(self, src, addr, offset: int):
+        self.emit(Instruction(Opcode.FSTOREAI, [], [src, addr], imm=int(offset)))
+
+    # -- control flow -------------------------------------------------------------
+
+    def jump(self, label: str):
+        self.emit(Instruction(Opcode.JUMP, labels=[label]))
+
+    def cbr(self, cond, true_label: str, false_label: str):
+        self.emit(Instruction(Opcode.CBR, [], [cond],
+                              labels=[true_label, false_label]))
+
+    def call(self, callee: str, args: Sequence = (), ret_class: Optional[RegClass] = None):
+        """Call ``callee``; returns the result register or None for void."""
+        dsts = []
+        result = None
+        if ret_class is not None:
+            result = self.fn.new_vreg(ret_class)
+            dsts = [result]
+        self.emit(Instruction(Opcode.CALL, dsts, list(args), symbol=callee))
+        return result
+
+    def ret(self, value=None):
+        srcs = [value] if value is not None else []
+        self.emit(Instruction(Opcode.RET, [], srcs))
+
+    def halt(self):
+        self.emit(Instruction(Opcode.HALT))

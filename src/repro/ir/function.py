@@ -1,0 +1,197 @@
+"""Basic blocks, functions, and whole programs.
+
+A :class:`Function` owns an ordered list of :class:`BasicBlock` objects;
+the first is the entry.  Control-flow edges are derived from terminators
+(jump / cbr / ret / halt), never stored, so they cannot go stale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .instructions import Instruction
+from .opcodes import Opcode
+from .operands import PhysReg, RegClass, VirtualReg
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instructions: List[Instruction] = []
+
+    def append(self, instr: Instruction) -> Instruction:
+        self.instructions.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_branch:
+            return self.instructions[-1]
+        return None
+
+    def successor_labels(self) -> List[str]:
+        term = self.terminator
+        if term is None:
+            return []
+        return list(term.labels)
+
+    def phis(self) -> List[Instruction]:
+        return [i for i in self.instructions if i.is_phi]
+
+    def non_phi_start(self) -> int:
+        """Index of the first non-phi instruction."""
+        for i, instr in enumerate(self.instructions):
+            if not instr.is_phi:
+                return i
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label}: {len(self.instructions)} instrs>"
+
+
+class Function:
+    """A procedure: parameters, blocks, and frame/spill bookkeeping.
+
+    Attributes:
+        params: parameter registers in order (virtual before allocation).
+        frame_size: bytes of stack spill area this function uses.
+        ccm_high_water: bytes of CCM in use when this function is active;
+            filled in by the interprocedural CCM allocator (paper 3.1).
+    """
+
+    def __init__(self, name: str, params: Iterable = ()):
+        self.name = name
+        self.params: List = list(params)
+        self.blocks: List[BasicBlock] = []
+        self._by_label: Dict[str, BasicBlock] = {}
+        self._next_vreg = 0
+        self._next_label = 0
+        self.frame_size = 0
+        self.ccm_high_water = 0
+        self.return_class: Optional[RegClass] = None
+
+    # -- block management --------------------------------------------------
+
+    def new_block(self, hint: str = "L") -> BasicBlock:
+        label = f"{hint}{self._next_label}"
+        self._next_label += 1
+        return self.add_block(BasicBlock(label))
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self._by_label:
+            raise ValueError(f"duplicate label {block.label} in {self.name}")
+        self.blocks.append(block)
+        self._by_label[block.label] = block
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        return self._by_label[label]
+
+    def has_block(self, label: str) -> bool:
+        return label in self._by_label
+
+    def remove_block(self, label: str) -> None:
+        block = self._by_label.pop(label)
+        self.blocks.remove(block)
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    # -- register management ------------------------------------------------
+
+    def new_vreg(self, rclass: RegClass) -> VirtualReg:
+        reg = VirtualReg(self._next_vreg, rclass)
+        self._next_vreg = self._next_vreg + 1
+        return reg
+
+    def note_vreg(self, reg: VirtualReg) -> None:
+        """Record an externally created vreg so new_vreg never collides."""
+        if reg.index >= self._next_vreg:
+            self._next_vreg = reg.index + 1
+
+    # -- iteration -----------------------------------------------------------
+
+    def instructions(self) -> Iterator[Tuple[BasicBlock, Instruction]]:
+        for block in self.blocks:
+            for instr in block.instructions:
+                yield block, instr
+
+    def all_registers(self):
+        seen = set()
+        for _, instr in self.instructions():
+            for reg in instr.regs():
+                if reg not in seen:
+                    seen.add(reg)
+        for reg in self.params:
+            seen.add(reg)
+        return seen
+
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return (f"<Function {self.name}: {len(self.blocks)} blocks, "
+                f"{self.instruction_count()} instrs>")
+
+
+class GlobalArray:
+    """A statically allocated data area (models Fortran COMMON storage)."""
+
+    def __init__(self, name: str, size_bytes: int, element_class: RegClass,
+                 init: Optional[list] = None):
+        self.name = name
+        self.size_bytes = size_bytes
+        self.element_class = element_class
+        self.init = init  # optional list of initial element values
+
+    @property
+    def element_size(self) -> int:
+        return self.element_class.size_bytes
+
+    @property
+    def n_elements(self) -> int:
+        return self.size_bytes // self.element_size
+
+    def __repr__(self) -> str:
+        return f"<GlobalArray {self.name}[{self.n_elements} x {self.element_class.value}]>"
+
+
+class Program:
+    """A whole program: functions plus global data, entry at ``main``."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalArray] = {}
+        self.entry_name = "main"
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function {fn.name}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_global(self, g: GlobalArray) -> GlobalArray:
+        if g.name in self.globals:
+            raise ValueError(f"duplicate global {g.name}")
+        self.globals[g.name] = g
+        return g
+
+    @property
+    def entry(self) -> Function:
+        return self.functions[self.entry_name]
+
+    def __repr__(self) -> str:
+        return (f"<Program {self.name}: {len(self.functions)} functions, "
+                f"{len(self.globals)} globals>")

@@ -1,0 +1,276 @@
+"""Opcode set and per-opcode metadata for the ILOC-like IR.
+
+The set follows the three-address ILOC of the Rice Massively Scalar
+Compiler Project (the paper's intermediate code), extended with the
+dedicated spill and CCM opcodes the paper's machine model requires:
+
+    spill   rx, <offset>      rx   => SPILLMEM[offset]     (2 cycles)
+    reload  <offset>, rx      SPILLMEM[offset] => rx       (2 cycles)
+    ccmst   rx, <offset>      rx   => CCM[offset]          (1 cycle)
+    ccmld   <offset>, rx      CCM[offset] => rx            (1 cycle)
+
+Keeping spills as distinct opcodes models the key fact the paper exploits:
+the compiler *knows* which memory operations it inserted for spilling, so a
+post-pass can find and retarget them without any alias analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .operands import RegClass
+
+
+class Opcode(enum.Enum):
+    """Every operation of the ILOC-like IR (see module docstring)."""
+
+    # Constants and moves
+    LOADI = "loadI"        # imm -> int reg
+    LOADFI = "loadFI"      # float imm -> float reg
+    LOADG = "loadG"        # symbol base address -> int reg
+    MOV = "mov"            # int reg copy
+    FMOV = "fmov"          # float reg copy
+
+    # Integer arithmetic, register-register
+    ADD = "add"
+    SUB = "sub"
+    MULT = "mult"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    LSHIFT = "lshift"
+    RSHIFT = "rshift"
+
+    # Integer arithmetic, register-immediate
+    ADDI = "addI"
+    SUBI = "subI"
+    MULTI = "multI"
+    DIVI = "divI"
+    ANDI = "andI"
+    ORI = "orI"
+    XORI = "xorI"
+    LSHIFTI = "lshiftI"
+    RSHIFTI = "rshiftI"
+
+    # Integer comparisons (result is 0/1 in an int register)
+    CMPEQ = "cmp_EQ"
+    CMPNE = "cmp_NE"
+    CMPLT = "cmp_LT"
+    CMPLE = "cmp_LE"
+    CMPGT = "cmp_GT"
+    CMPGE = "cmp_GE"
+
+    # Floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMULT = "fmult"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FCMPEQ = "fcmp_EQ"
+    FCMPNE = "fcmp_NE"
+    FCMPLT = "fcmp_LT"
+    FCMPLE = "fcmp_LE"
+    FCMPGT = "fcmp_GT"
+    FCMPGE = "fcmp_GE"
+
+    # Conversions
+    I2F = "i2f"
+    F2I = "f2i"
+
+    # Main-memory access (goes through the cache path)
+    LOAD = "load"          # [addr] -> int reg
+    FLOAD = "fload"        # [addr] -> float reg
+    STORE = "store"        # int reg -> [addr]
+    FSTORE = "fstore"      # float reg -> [addr]
+    LOADAI = "loadAI"      # [addr + imm] -> int reg
+    FLOADAI = "floadAI"    # [addr + imm] -> float reg
+    STOREAI = "storeAI"    # int reg -> [addr + imm]
+    FSTOREAI = "fstoreAI"  # float reg -> [addr + imm]
+
+    # Allocator-inserted spill traffic (main-memory spill area)
+    SPILL = "spill"        # int reg -> SPILLMEM[imm]
+    FSPILL = "fspill"      # float reg -> SPILLMEM[imm]
+    RELOAD = "reload"      # SPILLMEM[imm] -> int reg
+    FRELOAD = "freload"    # SPILLMEM[imm] -> float reg
+
+    # Compiler-controlled memory traffic (disjoint address space)
+    CCMST = "ccmst"        # int reg -> CCM[imm]
+    FCCMST = "fccmst"      # float reg -> CCM[imm]
+    CCMLD = "ccmld"        # CCM[imm] -> int reg
+    FCCMLD = "fccmld"      # CCM[imm] -> float reg
+
+    # Control flow
+    JUMP = "jump"
+    CBR = "cbr"            # cond != 0 -> labels[0] else labels[1]
+    CALL = "call"
+    RET = "ret"
+    HALT = "halt"
+
+    # SSA
+    PHI = "phi"
+
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of an opcode's shape, used by the verifier,
+    the printer, and the simulator's cycle accounting."""
+
+    n_dsts: int
+    n_srcs: int
+    dst_classes: tuple = ()
+    src_classes: tuple = ()
+    has_imm: bool = False
+    imm_is_float: bool = False
+    n_labels: int = 0
+    is_branch: bool = False
+    is_call: bool = False
+    # Memory categories for cycle accounting (paper section 4: memory
+    # operations cost two cycles; CCM access completes in one).
+    is_main_memory: bool = False   # load/store/spill/reload via main memory
+    is_spill_op: bool = False      # allocator-inserted (spill/reload/ccm)
+    is_ccm: bool = False           # CCM traffic
+    is_store: bool = False
+    is_load: bool = False
+    commutative: bool = False
+    has_symbol: bool = False
+
+
+_I = RegClass.INT
+_F = RegClass.FLOAT
+
+_RR_INT = OpcodeInfo(1, 2, (_I,), (_I, _I))
+_RR_INT_COMM = OpcodeInfo(1, 2, (_I,), (_I, _I), commutative=True)
+_RI_INT = OpcodeInfo(1, 1, (_I,), (_I,), has_imm=True)
+_RR_FLT = OpcodeInfo(1, 2, (_F,), (_F, _F))
+_RR_FLT_COMM = OpcodeInfo(1, 2, (_F,), (_F, _F), commutative=True)
+_FCMP = OpcodeInfo(1, 2, (_I,), (_F, _F))
+
+INFO: dict = {
+    Opcode.LOADI: OpcodeInfo(1, 0, (_I,), (), has_imm=True),
+    Opcode.LOADFI: OpcodeInfo(1, 0, (_F,), (), has_imm=True, imm_is_float=True),
+    Opcode.LOADG: OpcodeInfo(1, 0, (_I,), (), has_symbol=True),
+    Opcode.MOV: OpcodeInfo(1, 1, (_I,), (_I,)),
+    Opcode.FMOV: OpcodeInfo(1, 1, (_F,), (_F,)),
+
+    Opcode.ADD: _RR_INT_COMM,
+    Opcode.SUB: _RR_INT,
+    Opcode.MULT: _RR_INT_COMM,
+    Opcode.DIV: _RR_INT,
+    Opcode.MOD: _RR_INT,
+    Opcode.AND: _RR_INT_COMM,
+    Opcode.OR: _RR_INT_COMM,
+    Opcode.XOR: _RR_INT_COMM,
+    Opcode.NOT: OpcodeInfo(1, 1, (_I,), (_I,)),
+    Opcode.LSHIFT: _RR_INT,
+    Opcode.RSHIFT: _RR_INT,
+
+    Opcode.ADDI: _RI_INT,
+    Opcode.SUBI: _RI_INT,
+    Opcode.MULTI: _RI_INT,
+    Opcode.DIVI: _RI_INT,
+    Opcode.ANDI: _RI_INT,
+    Opcode.ORI: _RI_INT,
+    Opcode.XORI: _RI_INT,
+    Opcode.LSHIFTI: _RI_INT,
+    Opcode.RSHIFTI: _RI_INT,
+
+    Opcode.CMPEQ: _RR_INT_COMM,
+    Opcode.CMPNE: _RR_INT_COMM,
+    Opcode.CMPLT: _RR_INT,
+    Opcode.CMPLE: _RR_INT,
+    Opcode.CMPGT: _RR_INT,
+    Opcode.CMPGE: _RR_INT,
+
+    Opcode.FADD: _RR_FLT_COMM,
+    Opcode.FSUB: _RR_FLT,
+    Opcode.FMULT: _RR_FLT_COMM,
+    Opcode.FDIV: _RR_FLT,
+    Opcode.FNEG: OpcodeInfo(1, 1, (_F,), (_F,)),
+    Opcode.FCMPEQ: _FCMP,
+    Opcode.FCMPNE: _FCMP,
+    Opcode.FCMPLT: _FCMP,
+    Opcode.FCMPLE: _FCMP,
+    Opcode.FCMPGT: _FCMP,
+    Opcode.FCMPGE: _FCMP,
+
+    Opcode.I2F: OpcodeInfo(1, 1, (_F,), (_I,)),
+    Opcode.F2I: OpcodeInfo(1, 1, (_I,), (_F,)),
+
+    Opcode.LOAD: OpcodeInfo(1, 1, (_I,), (_I,), is_main_memory=True, is_load=True),
+    Opcode.FLOAD: OpcodeInfo(1, 1, (_F,), (_I,), is_main_memory=True, is_load=True),
+    Opcode.STORE: OpcodeInfo(0, 2, (), (_I, _I), is_main_memory=True, is_store=True),
+    Opcode.FSTORE: OpcodeInfo(0, 2, (), (_F, _I), is_main_memory=True, is_store=True),
+    Opcode.LOADAI: OpcodeInfo(1, 1, (_I,), (_I,), has_imm=True,
+                              is_main_memory=True, is_load=True),
+    Opcode.FLOADAI: OpcodeInfo(1, 1, (_F,), (_I,), has_imm=True,
+                               is_main_memory=True, is_load=True),
+    Opcode.STOREAI: OpcodeInfo(0, 2, (), (_I, _I), has_imm=True,
+                               is_main_memory=True, is_store=True),
+    Opcode.FSTOREAI: OpcodeInfo(0, 2, (), (_F, _I), has_imm=True,
+                                is_main_memory=True, is_store=True),
+
+    Opcode.SPILL: OpcodeInfo(0, 1, (), (_I,), has_imm=True, is_main_memory=True,
+                             is_spill_op=True, is_store=True),
+    Opcode.FSPILL: OpcodeInfo(0, 1, (), (_F,), has_imm=True, is_main_memory=True,
+                              is_spill_op=True, is_store=True),
+    Opcode.RELOAD: OpcodeInfo(1, 0, (_I,), (), has_imm=True, is_main_memory=True,
+                              is_spill_op=True, is_load=True),
+    Opcode.FRELOAD: OpcodeInfo(1, 0, (_F,), (), has_imm=True, is_main_memory=True,
+                               is_spill_op=True, is_load=True),
+
+    Opcode.CCMST: OpcodeInfo(0, 1, (), (_I,), has_imm=True, is_spill_op=True,
+                             is_ccm=True, is_store=True),
+    Opcode.FCCMST: OpcodeInfo(0, 1, (), (_F,), has_imm=True, is_spill_op=True,
+                              is_ccm=True, is_store=True),
+    Opcode.CCMLD: OpcodeInfo(1, 0, (_I,), (), has_imm=True, is_spill_op=True,
+                             is_ccm=True, is_load=True),
+    Opcode.FCCMLD: OpcodeInfo(1, 0, (_F,), (), has_imm=True, is_spill_op=True,
+                              is_ccm=True, is_load=True),
+
+    Opcode.JUMP: OpcodeInfo(0, 0, n_labels=1, is_branch=True),
+    Opcode.CBR: OpcodeInfo(0, 1, (), (_I,), n_labels=2, is_branch=True),
+    Opcode.CALL: OpcodeInfo(-1, -1, is_call=True, has_symbol=True),
+    Opcode.RET: OpcodeInfo(0, -1, is_branch=True),
+    Opcode.HALT: OpcodeInfo(0, 0, is_branch=True),
+
+    Opcode.PHI: OpcodeInfo(1, -1),
+    Opcode.NOP: OpcodeInfo(0, 0),
+}
+
+# Opcode families used by rewriting passes -------------------------------
+
+SPILL_STORES = {Opcode.SPILL, Opcode.FSPILL}
+SPILL_LOADS = {Opcode.RELOAD, Opcode.FRELOAD}
+CCM_STORES = {Opcode.CCMST, Opcode.FCCMST}
+CCM_LOADS = {Opcode.CCMLD, Opcode.FCCMLD}
+SPILL_OPS = SPILL_STORES | SPILL_LOADS
+CCM_OPS = CCM_STORES | CCM_LOADS
+
+#: stack-spill opcode -> equivalent CCM opcode (and back), per class
+TO_CCM = {
+    Opcode.SPILL: Opcode.CCMST,
+    Opcode.FSPILL: Opcode.FCCMST,
+    Opcode.RELOAD: Opcode.CCMLD,
+    Opcode.FRELOAD: Opcode.FCCMLD,
+}
+FROM_CCM = {v: k for k, v in TO_CCM.items()}
+
+COMPARES = {
+    Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT,
+    Opcode.CMPLE, Opcode.CMPGT, Opcode.CMPGE,
+    Opcode.FCMPEQ, Opcode.FCMPNE, Opcode.FCMPLT,
+    Opcode.FCMPLE, Opcode.FCMPGT, Opcode.FCMPGE,
+}
+
+MOVES = {Opcode.MOV, Opcode.FMOV}
+
+
+def info(op: Opcode) -> OpcodeInfo:
+    """Metadata for ``op``."""
+    return INFO[op]

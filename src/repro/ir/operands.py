@@ -1,0 +1,83 @@
+"""Operand kinds for the ILOC-like intermediate representation.
+
+The IR distinguishes two register classes, matching the paper's abstract
+machine of 32 general-purpose and 32 floating-point registers (Cooper &
+Harvey, section 4).  Registers are either *virtual* (unbounded supply,
+pre-allocation) or *physical* (a concrete machine register, post-allocation
+or pre-colored by the calling convention).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RegClass(enum.Enum):
+    """Register class: integer/pointer values or floating-point values."""
+
+    INT = "int"
+    FLOAT = "float"
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of a spilled value of this class, used for CCM packing."""
+        return 4 if self is RegClass.INT else 8
+
+    @property
+    def prefix(self) -> str:
+        return "r" if self is RegClass.INT else "f"
+
+
+@dataclass(frozen=True)
+class VirtualReg:
+    """A compiler temporary; the register allocator maps these to PhysRegs."""
+
+    index: int
+    rclass: RegClass
+
+    @property
+    def name(self) -> str:
+        return f"%{'v' if self.rclass is RegClass.INT else 'w'}{self.index}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PhysReg:
+    """A machine register, identified by class and index within the class."""
+
+    index: int
+    rclass: RegClass
+
+    @property
+    def name(self) -> str:
+        return f"{self.rclass.prefix}{self.index}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Register = object  # documentation alias: VirtualReg | PhysReg
+
+
+def is_register(value: object) -> bool:
+    return isinstance(value, (VirtualReg, PhysReg))
+
+
+def reg_class(reg) -> RegClass:
+    """Register class of a VirtualReg or PhysReg."""
+    if not isinstance(reg, (VirtualReg, PhysReg)):
+        raise TypeError(f"not a register: {reg!r}")
+    return reg.rclass
+
+
+@dataclass(frozen=True)
+class Label:
+    """A basic-block label."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name

@@ -1,0 +1,203 @@
+"""Parser for the textual ILOC dialect produced by :mod:`repro.ir.printer`.
+
+The parser exists so test inputs and example kernels can be written as
+readable assembly, and so listings round-trip (print -> parse -> print is
+a fixed point, property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .function import BasicBlock, Function, GlobalArray, Program
+from .instructions import Instruction
+from .opcodes import INFO, Opcode
+from .operands import PhysReg, RegClass, VirtualReg
+
+_BY_NAME = {op.value: op for op in Opcode}
+
+_REG_RE = re.compile(r"%v(\d+)|%w(\d+)|\br(\d+)\b|\bf(\d+)\b")
+
+
+class ParseError(ValueError):
+    """Raised on malformed IR text, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def parse_register(text: str):
+    text = text.strip()
+    m = _REG_RE.fullmatch(text)
+    if not m:
+        raise ValueError(f"bad register {text!r}")
+    vi, wi, ri, fi = m.groups()
+    if vi is not None:
+        return VirtualReg(int(vi), RegClass.INT)
+    if wi is not None:
+        return VirtualReg(int(wi), RegClass.FLOAT)
+    if ri is not None:
+        return PhysReg(int(ri), RegClass.INT)
+    return PhysReg(int(fi), RegClass.FLOAT)
+
+
+def _parse_reg_list(text: str) -> List:
+    text = text.strip()
+    if not text:
+        return []
+    return [parse_register(p) for p in text.split(",")]
+
+
+def _parse_imm(text: str):
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def parse_instruction(line: str, lineno: int = 0) -> Instruction:
+    """Parse one instruction (without label or leading whitespace)."""
+    line = line.split(";", 1)[0].strip()
+    if not line:
+        raise ParseError(lineno, "empty instruction")
+    parts = line.split(None, 1)
+    opname = parts[0]
+    rest = parts[1].strip() if len(parts) > 1 else ""
+    op = _BY_NAME.get(opname)
+    if op is None:
+        raise ParseError(lineno, f"unknown opcode {opname!r}")
+    meta = INFO[op]
+    try:
+        return _parse_operands(op, meta, rest)
+    except (ValueError, IndexError) as exc:
+        raise ParseError(lineno, f"{opname}: {exc}") from exc
+
+
+def _parse_operands(op: Opcode, meta, rest: str) -> Instruction:
+    if op in (Opcode.HALT, Opcode.NOP):
+        return Instruction(op)
+    if op is Opcode.JUMP:
+        label = rest.replace("->", "").strip()
+        return Instruction(op, labels=[label])
+    if op is Opcode.CBR:
+        cond_text, labels_text = rest.split("->")
+        labels = [p.strip() for p in labels_text.split(",")]
+        return Instruction(op, [], [parse_register(cond_text)], labels=labels)
+    if op is Opcode.RET:
+        srcs = _parse_reg_list(rest)
+        return Instruction(op, [], srcs)
+    if op is Opcode.CALL:
+        m = re.fullmatch(r"(\w+)\s*\(([^)]*)\)\s*(?:=>\s*(.*))?", rest)
+        if not m:
+            raise ValueError(f"bad call syntax {rest!r}")
+        callee, args_text, ret_text = m.groups()
+        dsts = _parse_reg_list(ret_text) if ret_text else []
+        return Instruction(op, dsts, _parse_reg_list(args_text), symbol=callee)
+    if op is Opcode.LOADG:
+        sym_text, dst_text = rest.split("=>")
+        symbol = sym_text.strip().lstrip("@")
+        return Instruction(op, _parse_reg_list(dst_text), [], symbol=symbol)
+    if op is Opcode.PHI:
+        pairs_text, dst_text = rest.rsplit("=>", 1)
+        srcs, phi_labels = [], []
+        for m in re.finditer(r"\[([^,\]]+),\s*([^\]]+)\]", pairs_text):
+            srcs.append(parse_register(m.group(1)))
+            phi_labels.append(m.group(2).strip())
+        return Instruction(op, _parse_reg_list(dst_text), srcs,
+                           phi_labels=phi_labels)
+
+    # spill/ccm bracket-offset forms
+    if op in (Opcode.SPILL, Opcode.FSPILL, Opcode.CCMST, Opcode.FCCMST):
+        src_text, off_text = rest.split("=>")
+        offset = int(off_text.strip().strip("[]"))
+        return Instruction(op, [], _parse_reg_list(src_text), imm=offset)
+    if op in (Opcode.RELOAD, Opcode.FRELOAD, Opcode.CCMLD, Opcode.FCCMLD):
+        off_text, dst_text = rest.split("=>")
+        offset = int(off_text.strip().strip("[]"))
+        return Instruction(op, _parse_reg_list(dst_text), [], imm=offset)
+
+    if op in (Opcode.STORE, Opcode.FSTORE):
+        return Instruction(op, [], _parse_reg_list(rest))
+    if op in (Opcode.STOREAI, Opcode.FSTOREAI):
+        pieces = [p.strip() for p in rest.split(",")]
+        srcs = [parse_register(pieces[0]), parse_register(pieces[1])]
+        return Instruction(op, [], srcs, imm=int(pieces[2]))
+
+    # generic "srcs[, imm] => dsts" forms
+    if "=>" in rest:
+        lhs, dst_text = rest.rsplit("=>", 1)
+        dsts = _parse_reg_list(dst_text)
+        lhs = lhs.strip()
+        if meta.has_imm:
+            if meta.n_srcs == 0:
+                return Instruction(op, dsts, [], imm=_parse_imm(lhs))
+            srcs_text, imm_text = lhs.rsplit(",", 1)
+            return Instruction(op, dsts, _parse_reg_list(srcs_text),
+                               imm=_parse_imm(imm_text))
+        return Instruction(op, dsts, _parse_reg_list(lhs))
+    raise ValueError(f"cannot parse operands {rest!r}")
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single ``.func`` ... ``.endfunc`` body."""
+    prog = parse_program(f".program anon\n{text}")
+    if len(prog.functions) != 1:
+        raise ValueError("expected exactly one function")
+    return next(iter(prog.functions.values()))
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full textual program (globals plus functions)."""
+    prog = Program()
+    fn: Optional[Function] = None
+    block: Optional[BasicBlock] = None
+    max_vreg = -1
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".program"):
+            prog.name = line.split(None, 1)[1].strip() if " " in line else "program"
+        elif line.startswith(".global"):
+            decl, _, init_text = line.partition("=")
+            _, name, size, cls = decl.split()
+            init = None
+            if init_text.strip():
+                init = [_parse_imm(v) for v in init_text.split(",")]
+            prog.add_global(GlobalArray(name, int(size), RegClass(cls), init=init))
+        elif line.startswith(".func"):
+            m = re.fullmatch(r"\.func\s+(\w+)\s*\(([^)]*)\)", line)
+            if not m:
+                raise ParseError(lineno, f"bad .func line {line!r}")
+            fn = Function(m.group(1), _parse_reg_list(m.group(2)))
+            block = None
+        elif line.startswith(".frame"):
+            if fn is None:
+                raise ParseError(lineno, ".frame outside function")
+            fn.frame_size = int(line.split()[1])
+        elif line.startswith(".endfunc"):
+            if fn is None:
+                raise ParseError(lineno, ".endfunc without .func")
+            fn._next_vreg = max_vreg + 1
+            prog.add_function(fn)
+            fn, block, max_vreg = None, None, -1
+        elif line.endswith(":"):
+            if fn is None:
+                raise ParseError(lineno, "label outside function")
+            block = BasicBlock(line[:-1].strip())
+            fn.add_block(block)
+        else:
+            if fn is None or block is None:
+                raise ParseError(lineno, f"instruction outside block: {line!r}")
+            instr = parse_instruction(line, lineno)
+            for reg in instr.regs():
+                if isinstance(reg, VirtualReg):
+                    max_vreg = max(max_vreg, reg.index)
+            block.append(instr)
+    if fn is not None:
+        raise ParseError(lineno, "missing .endfunc")
+    return prog

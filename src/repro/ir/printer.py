@@ -1,0 +1,100 @@
+"""Textual listing of the IR, in an ILOC-flavored assembly syntax.
+
+The syntax round-trips through :mod:`repro.ir.parser`.  Examples::
+
+    loadI   12 => %v3
+    add     %v3, %v4 => %v5
+    spill   %v5 => [8]
+    ccmld   [16] => %v6
+    cbr     %v7 -> L1, L2
+    call    helper(%v1, %w2) => %w3
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function, Program
+from .instructions import Instruction
+from .opcodes import Opcode
+
+
+def _fmt_reg(reg) -> str:
+    return reg.name
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One instruction in the ILOC-flavored textual syntax."""
+    op = instr.opcode
+    name = op.value
+    srcs = ", ".join(_fmt_reg(r) for r in instr.srcs)
+    dsts = ", ".join(_fmt_reg(r) for r in instr.dsts)
+
+    if op is Opcode.PHI:
+        pairs = ", ".join(f"[{_fmt_reg(r)}, {lbl}]"
+                          for r, lbl in zip(instr.srcs, instr.phi_labels))
+        body = f"phi     {pairs} => {dsts}"
+    elif op is Opcode.CALL:
+        ret = f" => {dsts}" if instr.dsts else ""
+        body = f"call    {instr.symbol}({srcs}){ret}"
+    elif op is Opcode.LOADG:
+        body = f"loadG   @{instr.symbol} => {dsts}"
+    elif op is Opcode.JUMP:
+        body = f"jump    -> {instr.labels[0]}"
+    elif op is Opcode.CBR:
+        body = f"cbr     {srcs} -> {instr.labels[0]}, {instr.labels[1]}"
+    elif op is Opcode.RET:
+        body = f"ret     {srcs}".rstrip()
+    elif op in (Opcode.HALT, Opcode.NOP):
+        body = name
+    elif op in (Opcode.SPILL, Opcode.FSPILL, Opcode.CCMST, Opcode.FCCMST):
+        body = f"{name:<7} {srcs} => [{instr.imm}]"
+    elif op in (Opcode.RELOAD, Opcode.FRELOAD, Opcode.CCMLD, Opcode.FCCMLD):
+        body = f"{name:<7} [{instr.imm}] => {dsts}"
+    elif op in (Opcode.LOADAI, Opcode.FLOADAI):
+        body = f"{name:<7} {srcs}, {instr.imm} => {dsts}"
+    elif op in (Opcode.STOREAI, Opcode.FSTOREAI):
+        body = f"{name:<7} {srcs}, {instr.imm}"
+    elif op in (Opcode.STORE, Opcode.FSTORE):
+        body = f"{name:<7} {srcs}"
+    elif instr.meta.has_imm and instr.meta.n_srcs == 0:
+        body = f"{name:<7} {instr.imm} => {dsts}"
+    elif instr.meta.has_imm:
+        body = f"{name:<7} {srcs}, {instr.imm} => {dsts}"
+    elif instr.dsts:
+        body = f"{name:<7} {srcs} => {dsts}"
+    else:
+        body = f"{name:<7} {srcs}".rstrip()
+
+    if instr.comment:
+        body = f"{body:<40} ; {instr.comment}"
+    return body
+
+
+def format_function(fn: Function) -> str:
+    """A function as a .func/.endfunc listing."""
+    lines: List[str] = []
+    params = ", ".join(_fmt_reg(p) for p in fn.params)
+    lines.append(f".func {fn.name}({params})")
+    if fn.frame_size:
+        lines.append(f"  .frame {fn.frame_size}")
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instructions:
+            lines.append(f"    {format_instruction(instr)}")
+    lines.append(".endfunc")
+    return "\n".join(lines)
+
+
+def format_program(prog: Program) -> str:
+    """A whole program, round-trippable through the parser."""
+    lines: List[str] = [f".program {prog.name}"]
+    for g in prog.globals.values():
+        decl = f".global {g.name} {g.size_bytes} {g.element_class.value}"
+        if g.init is not None:
+            decl += " = " + ",".join(repr(v) for v in g.init)
+        lines.append(decl)
+    for fn in prog.functions.values():
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines) + "\n"

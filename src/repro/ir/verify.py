@@ -1,0 +1,123 @@
+"""Structural verifier for the IR.
+
+Run after every pass in tests: catches malformed terminators, dangling
+branch targets, class mismatches, and phi inconsistencies early instead
+of as mysterious simulator failures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function, Program
+from .opcodes import Opcode, info
+from .operands import PhysReg, VirtualReg
+
+
+class VerificationError(ValueError):
+    """The IR violates a structural invariant."""
+
+
+def verify_function(fn: Function, program: Program = None) -> None:
+    """Check one function's structural invariants; raises on violation."""
+    if not fn.blocks:
+        raise VerificationError(f"{fn.name}: no blocks")
+    labels = {b.label for b in fn.blocks}
+    for block in fn.blocks:
+        if not block.instructions:
+            raise VerificationError(f"{fn.name}/{block.label}: empty block")
+        term = block.instructions[-1]
+        if not term.is_branch:
+            raise VerificationError(
+                f"{fn.name}/{block.label}: does not end in a terminator "
+                f"(ends in {term.opcode.value})")
+        for i, instr in enumerate(block.instructions):
+            _verify_instruction(fn, block.label, i, instr, labels, program)
+            if instr.is_branch and i != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"{fn.name}/{block.label}: branch in mid-block at {i}")
+    # phis must be a prefix of the block
+    for block in fn.blocks:
+        seen_non_phi = False
+        for instr in block.instructions:
+            if instr.is_phi and seen_non_phi:
+                raise VerificationError(
+                    f"{fn.name}/{block.label}: phi after non-phi instruction")
+            if not instr.is_phi:
+                seen_non_phi = True
+
+
+def _verify_instruction(fn, label, idx, instr, labels, program) -> None:
+    meta = info(instr.opcode)
+    where = f"{fn.name}/{label}[{idx}] {instr.opcode.value}"
+
+    if meta.n_dsts >= 0 and len(instr.dsts) != meta.n_dsts:
+        raise VerificationError(
+            f"{where}: expected {meta.n_dsts} dsts, got {len(instr.dsts)}")
+    if meta.n_srcs >= 0 and len(instr.srcs) != meta.n_srcs:
+        raise VerificationError(
+            f"{where}: expected {meta.n_srcs} srcs, got {len(instr.srcs)}")
+
+    for reg, want in zip(instr.dsts, meta.dst_classes):
+        if reg.rclass is not want:
+            raise VerificationError(
+                f"{where}: dst {reg} has class {reg.rclass.value}, "
+                f"expected {want.value}")
+    for reg, want in zip(instr.srcs, meta.src_classes):
+        if reg.rclass is not want:
+            raise VerificationError(
+                f"{where}: src {reg} has class {reg.rclass.value}, "
+                f"expected {want.value}")
+
+    if meta.has_imm and instr.imm is None:
+        raise VerificationError(f"{where}: missing immediate")
+    if meta.n_labels and len(instr.labels) != meta.n_labels:
+        raise VerificationError(
+            f"{where}: expected {meta.n_labels} labels, got {len(instr.labels)}")
+    for target in instr.labels:
+        if target not in labels:
+            raise VerificationError(f"{where}: unknown branch target {target}")
+
+    if instr.opcode is Opcode.PHI:
+        if len(instr.srcs) != len(instr.phi_labels):
+            raise VerificationError(f"{where}: phi srcs/labels length mismatch")
+        for reg in instr.srcs:
+            if reg.rclass is not instr.dsts[0].rclass:
+                raise VerificationError(f"{where}: phi class mismatch")
+
+    if instr.opcode in (Opcode.SPILL, Opcode.FSPILL, Opcode.RELOAD,
+                        Opcode.FRELOAD, Opcode.CCMST, Opcode.FCCMST,
+                        Opcode.CCMLD, Opcode.FCCMLD):
+        if not isinstance(instr.imm, int) or instr.imm < 0:
+            raise VerificationError(f"{where}: bad slot offset {instr.imm!r}")
+
+    if instr.opcode is Opcode.CALL and program is not None:
+        if instr.symbol not in program.functions:
+            raise VerificationError(f"{where}: unknown callee {instr.symbol}")
+        callee = program.functions[instr.symbol]
+        if len(instr.srcs) != len(callee.params):
+            raise VerificationError(
+                f"{where}: {instr.symbol} takes {len(callee.params)} args, "
+                f"got {len(instr.srcs)}")
+    if instr.opcode is Opcode.LOADG and program is not None:
+        if instr.symbol not in program.globals:
+            raise VerificationError(f"{where}: unknown global {instr.symbol}")
+
+
+def verify_program(prog: Program) -> None:
+    """Check every function plus program-level references (calls, globals)."""
+    if prog.entry_name not in prog.functions:
+        raise VerificationError(f"no entry function {prog.entry_name!r}")
+    for fn in prog.functions.values():
+        verify_function(fn, prog)
+
+
+def check_no_virtual_registers(fn: Function) -> None:
+    """Post-allocation invariant: only physical registers remain."""
+    for block in fn.blocks:
+        for instr in block.instructions:
+            for reg in instr.regs():
+                if isinstance(reg, VirtualReg):
+                    raise VerificationError(
+                        f"{fn.name}/{block.label}: virtual register {reg} "
+                        f"survived allocation in {instr!r}")

@@ -1,0 +1,14 @@
+"""Scalar optimizations run before register allocation."""
+
+from .constprop import sccp
+from .copyprop import copy_propagate
+from .dce import dce
+from .gvn import gvn
+from .licm import licm
+from .peephole import peephole, simplify_cfg
+from .pipeline import OptReport, optimize_function, optimize_program
+
+__all__ = [
+    "sccp", "copy_propagate", "dce", "gvn", "licm", "peephole", "simplify_cfg",
+    "OptReport", "optimize_function", "optimize_program",
+]

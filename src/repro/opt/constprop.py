@@ -1,0 +1,227 @@
+"""Sparse conditional constant propagation (Wegman-Zadeck SCCP).
+
+The paper's test codes were "subjected to extensive scalar optimization,
+including ... global constant propagation" before allocation; this pass
+provides that, running on SSA form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis import CFG
+from ..ir import Function, Instruction, Opcode, VirtualReg
+from ..machine.simulator import _INT_BINOPS, _INT_IMMOPS, _FLOAT_BINOPS
+
+_TOP = "top"        # undetermined, may still become constant
+_BOTTOM = "bottom"  # varying
+
+
+class _Lattice:
+    """Maps each SSA name to TOP, a constant, or BOTTOM."""
+
+    def __init__(self):
+        self.values: Dict[VirtualReg, object] = {}
+
+    def get(self, reg):
+        if not isinstance(reg, VirtualReg):
+            return _BOTTOM  # physical registers are opaque
+        return self.values.get(reg, _TOP)
+
+    def meet_into(self, reg, value) -> bool:
+        """Lower ``reg`` toward ``value``; True when the cell changed."""
+        old = self.get(reg)
+        if old == value or old == _BOTTOM:
+            return False
+        if old == _TOP:
+            self.values[reg] = value
+            return True
+        # two different constants -> bottom
+        self.values[reg] = _BOTTOM
+        return True
+
+
+def _evaluate(instr: Instruction, lattice: _Lattice):
+    """Constant-fold ``instr`` under the lattice; returns the result cell
+    for its destination (constant, TOP, or BOTTOM)."""
+    op = instr.opcode
+    if op is Opcode.LOADI or op is Opcode.LOADFI:
+        return instr.imm
+    if op in (Opcode.MOV, Opcode.FMOV):
+        return lattice.get(instr.srcs[0])
+    if op in _INT_BINOPS or op in _FLOAT_BINOPS:
+        table = _INT_BINOPS if op in _INT_BINOPS else _FLOAT_BINOPS
+        a = lattice.get(instr.srcs[0])
+        b = lattice.get(instr.srcs[1])
+        if a == _BOTTOM or b == _BOTTOM:
+            return _BOTTOM
+        if a == _TOP or b == _TOP:
+            return _TOP
+        try:
+            return table[op](a, b)
+        except Exception:
+            return _BOTTOM  # e.g. division by zero: leave to runtime
+    if op in _INT_IMMOPS:
+        a = lattice.get(instr.srcs[0])
+        if a in (_BOTTOM, _TOP):
+            return a
+        try:
+            return _INT_IMMOPS[op](a, instr.imm)
+        except Exception:
+            return _BOTTOM
+    if op is Opcode.NOT:
+        a = lattice.get(instr.srcs[0])
+        return ~a if a not in (_BOTTOM, _TOP) else a
+    if op is Opcode.FNEG:
+        a = lattice.get(instr.srcs[0])
+        return -a if a not in (_BOTTOM, _TOP) else a
+    if op is Opcode.I2F:
+        a = lattice.get(instr.srcs[0])
+        return float(a) if a not in (_BOTTOM, _TOP) else a
+    if op is Opcode.F2I:
+        a = lattice.get(instr.srcs[0])
+        return int(a) if a not in (_BOTTOM, _TOP) else a
+    return _BOTTOM  # loads, calls, loadG: unknown
+
+
+def sccp(fn: Function) -> int:
+    """Run SCCP on an SSA-form function; returns number of rewrites.
+
+    Folds constant computations to ``loadI``/``loadFI`` and rewrites
+    conditional branches whose condition is a known constant into jumps.
+    """
+    cfg = CFG(fn)
+    lattice = _Lattice()
+    executable: Set[Tuple[Optional[str], str]] = set()
+    block_reached: Set[str] = set()
+    flow_list: List[Tuple[Optional[str], str]] = [(None, fn.entry.label)]
+    ssa_list: List[VirtualReg] = []
+
+    use_sites: Dict[VirtualReg, List[Tuple[str, int]]] = {}
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instructions):
+            for reg in instr.srcs:
+                if isinstance(reg, VirtualReg):
+                    use_sites.setdefault(reg, []).append((block.label, idx))
+
+    for param in fn.params:
+        if isinstance(param, VirtualReg):
+            lattice.values[param] = _BOTTOM
+
+    def visit_instr(label: str, idx: int) -> None:
+        instr = fn.block(label).instructions[idx]
+        if instr.opcode is Opcode.PHI:
+            value = _TOP
+            for src, pred in zip(instr.srcs, instr.phi_labels):
+                if (pred, label) not in executable:
+                    continue
+                cell = lattice.get(src)
+                if cell == _TOP:
+                    continue
+                if value == _TOP:
+                    value = cell
+                elif value != cell:
+                    value = _BOTTOM
+                    break
+            if value != _TOP and lattice.meet_into(instr.dsts[0], value):
+                ssa_list.append(instr.dsts[0])
+            return
+        if instr.opcode is Opcode.CBR:
+            cond = lattice.get(instr.srcs[0])
+            if cond == _TOP:
+                return
+            if cond == _BOTTOM:
+                for target in instr.labels:
+                    flow_list.append((label, target))
+            else:
+                target = instr.labels[0] if cond != 0 else instr.labels[1]
+                flow_list.append((label, target))
+            return
+        if instr.opcode is Opcode.JUMP:
+            flow_list.append((label, instr.labels[0]))
+            return
+        if not instr.dsts:
+            return
+        if instr.opcode is Opcode.CALL:
+            for dst in instr.dsts:
+                if lattice.meet_into(dst, _BOTTOM):
+                    ssa_list.append(dst)
+            return
+        value = _evaluate(instr, lattice)
+        if value != _TOP:
+            for dst in instr.dsts:
+                if lattice.meet_into(dst, value):
+                    ssa_list.append(dst)
+
+    while flow_list or ssa_list:
+        while flow_list:
+            edge = flow_list.pop()
+            if edge in executable:
+                continue
+            executable.add(edge)
+            label = edge[1]
+            first_visit = label not in block_reached
+            block_reached.add(label)
+            block = fn.block(label)
+            if first_visit:
+                for idx in range(len(block.instructions)):
+                    visit_instr(label, idx)
+            else:
+                for idx, instr in enumerate(block.instructions):
+                    if instr.opcode is Opcode.PHI:
+                        visit_instr(label, idx)
+        while ssa_list:
+            reg = ssa_list.pop()
+            for label, idx in use_sites.get(reg, ()):
+                if label in block_reached:
+                    visit_instr(label, idx)
+
+    # -- rewrite ------------------------------------------------------------
+    changed = 0
+    for block in fn.blocks:
+        if block.label not in block_reached:
+            continue
+        for idx, instr in enumerate(block.instructions):
+            if instr.opcode in (Opcode.LOADI, Opcode.LOADFI, Opcode.PHI):
+                if instr.opcode is Opcode.PHI:
+                    cell = lattice.get(instr.dsts[0])
+                    if cell not in (_TOP, _BOTTOM):
+                        op = (Opcode.LOADI if instr.dsts[0].rclass.value == "int"
+                              else Opcode.LOADFI)
+                        block.instructions[idx] = Instruction(
+                            op, [instr.dsts[0]], [], imm=cell)
+                        changed += 1
+                continue
+            if instr.opcode is Opcode.CBR:
+                cond = lattice.get(instr.srcs[0])
+                if cond not in (_TOP, _BOTTOM):
+                    target = instr.labels[0] if cond != 0 else instr.labels[1]
+                    block.instructions[idx] = Instruction(
+                        Opcode.JUMP, labels=[target])
+                    changed += 1
+                continue
+            if len(instr.dsts) == 1 and not instr.meta.is_call:
+                cell = lattice.get(instr.dsts[0])
+                if cell not in (_TOP, _BOTTOM) and not instr.meta.is_main_memory \
+                        and not instr.meta.is_ccm:
+                    dst = instr.dsts[0]
+                    op = (Opcode.LOADI if dst.rclass.value == "int"
+                          else Opcode.LOADFI)
+                    block.instructions[idx] = Instruction(op, [dst], [], imm=cell)
+                    changed += 1
+    if changed:
+        _prune_dead_phi_edges(fn)
+    return changed
+
+
+def _prune_dead_phi_edges(fn: Function) -> None:
+    """After branch folding, drop phi inputs from non-predecessor blocks."""
+    cfg = CFG(fn)
+    for block in fn.blocks:
+        preds = set(cfg.preds[block.label])
+        for instr in block.phis():
+            keep = [(r, l) for r, l in zip(instr.srcs, instr.phi_labels)
+                    if l in preds]
+            if len(keep) != len(instr.srcs):
+                instr.srcs = [r for r, _ in keep]
+                instr.phi_labels = [l for _, l in keep]

@@ -1,0 +1,46 @@
+"""Copy propagation on SSA form.
+
+Follows move chains to their ultimate source and rewrites every use;
+the moves themselves become dead and fall to DCE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir import Function, PhysReg, VirtualReg
+
+
+def copy_propagate(fn: Function) -> int:
+    """Rewrite uses of copies to their sources; returns rewrites made.
+
+    Copies of *physical* registers are not propagated: a physical
+    register is not single-assignment, so forwarding it past another
+    definition would be unsound.  (Such copies exist around calls.)
+    """
+    source: Dict[VirtualReg, object] = {}
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if instr.is_move and isinstance(instr.dsts[0], VirtualReg) \
+                    and isinstance(instr.srcs[0], VirtualReg):
+                source[instr.dsts[0]] = instr.srcs[0]
+
+    def resolve(reg):
+        seen = set()
+        while reg in source and reg not in seen:
+            seen.add(reg)
+            reg = source[reg]
+        return reg
+
+    changed = 0
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if instr.is_move and instr.dsts[0] in source:
+                continue  # will die; leave intact for safety
+            for i, reg in enumerate(instr.srcs):
+                if isinstance(reg, VirtualReg):
+                    new = resolve(reg)
+                    if new != reg:
+                        instr.srcs[i] = new
+                        changed += 1
+    return changed

@@ -1,0 +1,62 @@
+"""Dead-code elimination (mark-sweep over SSA def-use chains).
+
+Roots are instructions with observable effects: stores, calls, control
+flow, returns, and spill/CCM traffic.  Everything not transitively
+needed by a root is deleted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set, Tuple
+
+from ..ir import Function, Instruction, Opcode, VirtualReg
+
+_EFFECTFUL = {
+    Opcode.STORE, Opcode.FSTORE, Opcode.STOREAI, Opcode.FSTOREAI,
+    Opcode.CALL, Opcode.RET, Opcode.JUMP, Opcode.CBR, Opcode.HALT,
+    Opcode.SPILL, Opcode.FSPILL, Opcode.CCMST, Opcode.FCCMST,
+    Opcode.RELOAD, Opcode.FRELOAD, Opcode.CCMLD, Opcode.FCCMLD,
+}
+
+
+def dce(fn: Function) -> int:
+    """Delete dead instructions; returns the number removed."""
+    def_site: Dict[VirtualReg, Tuple[str, int]] = {}
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instructions):
+            for reg in instr.dsts:
+                if isinstance(reg, VirtualReg):
+                    def_site[reg] = (block.label, idx)
+
+    live: Set[Tuple[str, int]] = set()
+    worklist = deque()
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instructions):
+            if instr.opcode in _EFFECTFUL or any(
+                    not isinstance(d, VirtualReg) for d in instr.dsts):
+                site = (block.label, idx)
+                live.add(site)
+                worklist.append(site)
+
+    while worklist:
+        label, idx = worklist.popleft()
+        instr = fn.block(label).instructions[idx]
+        for reg in instr.srcs:
+            if isinstance(reg, VirtualReg) and reg in def_site:
+                site = def_site[reg]
+                if site not in live:
+                    live.add(site)
+                    worklist.append(site)
+
+    removed = 0
+    for block in fn.blocks:
+        kept = []
+        for idx, instr in enumerate(block.instructions):
+            if (block.label, idx) in live or instr.opcode is Opcode.NOP:
+                kept.append(instr)
+            else:
+                removed += 1
+        if removed:
+            block.instructions = kept
+    return removed

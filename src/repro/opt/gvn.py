@@ -1,0 +1,118 @@
+"""Dominator-based global value numbering on SSA form.
+
+Implements the scoped-hash-table formulation: walk the dominator tree,
+hash each pure expression by opcode and the value numbers of its
+operands (normalizing commutative operands), and replace a recomputation
+with a copy of the dominating occurrence.  Copies are then cleaned up by
+copy propagation and dead-code elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import CFG, DominatorTree
+from ..ir import Function, Instruction, Opcode, VirtualReg, make_move
+
+
+_PURE_WITH_IMM = {
+    Opcode.LOADI, Opcode.LOADFI, Opcode.ADDI, Opcode.SUBI, Opcode.MULTI,
+    Opcode.DIVI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.LSHIFTI,
+    Opcode.RSHIFTI,
+}
+_IMPURE = {
+    Opcode.LOAD, Opcode.FLOAD, Opcode.STORE, Opcode.FSTORE, Opcode.LOADAI,
+    Opcode.FLOADAI, Opcode.STOREAI, Opcode.FSTOREAI, Opcode.CALL, Opcode.RET,
+    Opcode.JUMP, Opcode.CBR, Opcode.HALT, Opcode.NOP, Opcode.PHI,
+    Opcode.SPILL, Opcode.FSPILL, Opcode.RELOAD, Opcode.FRELOAD,
+    Opcode.CCMST, Opcode.FCCMST, Opcode.CCMLD, Opcode.FCCMLD,
+}
+
+
+class _ScopedTable:
+    """A stack of dictionaries mirroring the dominator-tree walk."""
+
+    def __init__(self):
+        self._scopes: List[Dict] = [{}]
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> None:
+        self._scopes.pop()
+
+    def lookup(self, key):
+        for scope in reversed(self._scopes):
+            if key in scope:
+                return scope[key]
+        return None
+
+    def insert(self, key, value) -> None:
+        self._scopes[-1][key] = value
+
+
+def gvn(fn: Function) -> int:
+    """Value-number ``fn`` (must be SSA); returns replacements made."""
+    cfg = CFG(fn)
+    dom = DominatorTree(cfg)
+    table = _ScopedTable()
+    vn: Dict[VirtualReg, object] = {}  # SSA name -> value number (a rep reg)
+    changed = [0]
+
+    def number(reg):
+        return vn.get(reg, reg)
+
+    def expression_key(instr: Instruction) -> Optional[Tuple]:
+        op = instr.opcode
+        if op in _IMPURE:
+            return None
+        if len(instr.dsts) != 1:
+            return None
+        if op is Opcode.LOADG:
+            return (op, instr.symbol)
+        operands = tuple(number(s) for s in instr.srcs)
+        if instr.meta.commutative:
+            operands = tuple(sorted(operands, key=repr))
+        if op in _PURE_WITH_IMM:
+            return (op, operands, instr.imm)
+        return (op, operands)
+
+    def walk(label: str) -> None:
+        table.push()
+        block = fn.block(label)
+        for idx, instr in enumerate(block.instructions):
+            if instr.opcode is Opcode.PHI:
+                # meaningless phi (all inputs same VN) folds to a copy
+                inputs = {number(s) for s in instr.srcs}
+                if len(inputs) == 1:
+                    rep = inputs.pop()
+                    if isinstance(rep, VirtualReg) and rep != instr.dsts[0]:
+                        vn[instr.dsts[0]] = rep
+                        block.instructions[idx] = make_move(instr.dsts[0], rep)
+                        changed[0] += 1
+                continue
+            if instr.is_move:
+                vn[instr.dsts[0]] = number(instr.srcs[0])
+                continue
+            key = expression_key(instr)
+            if key is None:
+                continue
+            existing = table.lookup(key)
+            if existing is not None:
+                vn[instr.dsts[0]] = existing
+                block.instructions[idx] = make_move(instr.dsts[0], existing)
+                changed[0] += 1
+            else:
+                table.insert(key, instr.dsts[0])
+        for child in dom.children[label]:
+            walk(child)
+        table.pop()
+
+    import sys
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, 4 * len(fn.blocks) + 1000))
+    try:
+        walk(fn.entry.label)
+    finally:
+        sys.setrecursionlimit(old)
+    return changed[0]

@@ -1,0 +1,229 @@
+"""Loop-invariant code motion, including load promotion.
+
+Section 2.2 of the paper: the "heroic" locality transformations "may
+also move some memory references into registers", which "can increase
+the demand for registers and provoke the register allocator to spill
+more values".  This pass is the repository's concrete instance of that
+effect: it hoists loop-invariant pure computations *and* loop-invariant
+loads out of loops, lengthening live ranges and raising pressure — the
+very pressure the CCM then absorbs (measured in
+``benchmarks/test_ablation_design.py``).
+
+Load hoisting is the register-promotion special case (Lu & Cooper, the
+paper's reference [16], scoped to our alias-free world): a load is
+invariant when its address is invariant and no store in the loop can
+write the loaded array.  The IR has no pointers, so "may alias" is
+simply "stores into the same global" — computed per loop from LOADG
+reachability.
+
+Runs on SSA form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis import CFG, DominatorTree, LoopInfo
+from ..analysis.loops import Loop
+from ..ir import Function, Instruction, Opcode, VirtualReg
+
+_PURE = {
+    Opcode.LOADI, Opcode.LOADFI, Opcode.LOADG, Opcode.MOV, Opcode.FMOV,
+    Opcode.ADD, Opcode.SUB, Opcode.MULT, Opcode.DIV, Opcode.MOD,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.LSHIFT,
+    Opcode.RSHIFT, Opcode.ADDI, Opcode.SUBI, Opcode.MULTI, Opcode.DIVI,
+    Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.LSHIFTI, Opcode.RSHIFTI,
+    Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPGT,
+    Opcode.CMPGE, Opcode.FADD, Opcode.FSUB, Opcode.FMULT, Opcode.FNEG,
+    Opcode.FCMPEQ, Opcode.FCMPNE, Opcode.FCMPLT, Opcode.FCMPLE,
+    Opcode.FCMPGT, Opcode.FCMPGE, Opcode.I2F, Opcode.F2I,
+}
+# DIV/MOD/FDIV can fault (divide by zero): hoisting one out of a loop
+# that may execute zero times would introduce a fault.  Only hoist them
+# from blocks that dominate every loop exit — simplified here to "never
+# hoist faulting ops", the conservative choice.
+_FAULTING = {Opcode.DIV, Opcode.MOD, Opcode.DIVI, Opcode.FDIV}
+
+_LOADS = {Opcode.LOAD, Opcode.FLOAD, Opcode.LOADAI, Opcode.FLOADAI}
+_STORES = {Opcode.STORE, Opcode.FSTORE, Opcode.STOREAI, Opcode.FSTOREAI}
+
+
+def licm(fn: Function, hoist_loads: bool = True) -> int:
+    """Hoist invariant code out of every natural loop; returns count.
+
+    Requires SSA form (single definitions make invariance a per-name
+    property).  Creates a preheader for each loop that lacks one.
+    """
+    cfg = CFG(fn)
+    dom = DominatorTree(cfg)
+    loops = LoopInfo(fn, cfg, dom)
+    hoisted = 0
+    # inner loops first (smallest body), so invariants bubble outward
+    # across multiple passes of the pipeline
+    for loop in sorted(loops.loops, key=lambda l: len(l.blocks)):
+        hoisted += _hoist_from_loop(fn, loop, hoist_loads)
+        if hoisted:
+            # control flow changed (preheaders); recompute for the next loop
+            cfg = CFG(fn)
+            dom = DominatorTree(cfg)
+    return hoisted
+
+
+def _loop_definitions(fn: Function, loop: Loop) -> Set[VirtualReg]:
+    defined: Set[VirtualReg] = set()
+    for label in loop.blocks:
+        for instr in fn.block(label).instructions:
+            for reg in instr.dsts:
+                if isinstance(reg, VirtualReg):
+                    defined.add(reg)
+    return defined
+
+
+def _stored_globals(fn: Function, loop: Loop) -> Tuple[Set[str], bool]:
+    """Globals possibly written inside the loop.
+
+    Returns (set of global names stored through a traceable base, True
+    when some store's base is untraceable or a call occurs — in which
+    case every load is unsafe to hoist).
+    """
+    base_of: Dict[VirtualReg, Optional[str]] = {}
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if instr.opcode is Opcode.LOADG:
+                base_of[instr.dsts[0]] = instr.symbol
+    stored: Set[str] = set()
+    unknown = False
+    for label in loop.blocks:
+        for instr in fn.block(label).instructions:
+            if instr.opcode in _STORES:
+                addr = instr.srcs[1]
+                name = _trace_base(fn, addr, base_of)
+                if name is None:
+                    unknown = True
+                else:
+                    stored.add(name)
+            elif instr.opcode is Opcode.CALL:
+                unknown = True  # the callee may store anywhere
+    return stored, unknown
+
+
+def _trace_base(fn: Function, reg, base_of, depth: int = 0) -> Optional[str]:
+    """Which global does this address derive from?  None if unknown."""
+    if depth > 16 or not isinstance(reg, VirtualReg):
+        return None
+    if reg in base_of:
+        return base_of[reg]
+    definition = _single_def(fn, reg)
+    if definition is None:
+        return None
+    op = definition.opcode
+    if op in (Opcode.ADD, Opcode.SUB):
+        # address arithmetic: one operand is the base chain
+        for src in definition.srcs:
+            name = _trace_base(fn, src, base_of, depth + 1)
+            if name is not None:
+                return name
+        return None
+    if op in (Opcode.ADDI, Opcode.SUBI, Opcode.MOV):
+        return _trace_base(fn, definition.srcs[0], base_of, depth + 1)
+    return None
+
+
+def _single_def(fn: Function, reg) -> Optional[Instruction]:
+    found = None
+    for _, instr in fn.instructions():
+        if reg in instr.dsts:
+            if found is not None:
+                return None
+            found = instr
+    return found
+
+
+def _ensure_preheader(fn: Function, loop: Loop, cfg: CFG):
+    """A block that is the unique out-of-loop predecessor of the header."""
+    outside = [p for p in cfg.preds[loop.header] if p not in loop.blocks]
+    if len(outside) == 1:
+        pred = fn.block(outside[0])
+        if len(cfg.succs[outside[0]]) == 1:
+            return pred
+    preheader = fn.new_block("preheader")
+    preheader.append(Instruction(Opcode.JUMP, labels=[loop.header]))
+    for label in outside:
+        term = fn.block(label).terminator
+        for i, target in enumerate(term.labels):
+            if target == loop.header:
+                term.labels[i] = preheader.label
+    # redirect phi inputs from outside predecessors to the preheader
+    for instr in fn.block(loop.header).phis():
+        seen_outside: List[int] = [i for i, lbl in enumerate(instr.phi_labels)
+                                   if lbl not in loop.blocks]
+        for i in seen_outside:
+            instr.phi_labels[i] = preheader.label
+    return preheader
+
+
+def _hoist_from_loop(fn: Function, loop: Loop, hoist_loads: bool) -> int:
+    cfg = CFG(fn)
+    dom = DominatorTree(cfg)
+    defined = _loop_definitions(fn, loop)
+    stored, stores_unknown = _stored_globals(fn, loop)
+    exits = sorted({label for label in loop.blocks
+                    for succ in cfg.succs[label] if succ not in loop.blocks})
+
+    invariant: Set[VirtualReg] = set()
+    to_hoist: List[Instruction] = []
+    chosen: Set[int] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for label in sorted(loop.blocks):
+            block = fn.block(label)
+            # a load may only be hoisted when its block dominates every
+            # loop exit (a zero-trip loop must not execute it)
+            dominates_exits = all(dom.dominates(label, e) for e in exits)
+            for instr in block.instructions:
+                if id(instr) in chosen or instr.is_phi:
+                    continue
+                if not _is_hoistable(fn, instr, loop, defined, invariant,
+                                     stored, stores_unknown,
+                                     hoist_loads and dominates_exits):
+                    continue
+                to_hoist.append(instr)
+                chosen.add(id(instr))
+                for reg in instr.dsts:
+                    invariant.add(reg)
+                changed = True
+
+    if not to_hoist:
+        return 0
+    preheader = _ensure_preheader(fn, loop, cfg)
+    hoist_set = set(map(id, to_hoist))
+    for label in loop.blocks:
+        block = fn.block(label)
+        block.instructions = [i for i in block.instructions
+                              if id(i) not in hoist_set]
+    insert_at = len(preheader.instructions) - 1  # before the jump
+    preheader.instructions[insert_at:insert_at] = to_hoist
+    return len(to_hoist)
+
+
+def _is_hoistable(fn, instr, loop, defined, invariant, stored,
+                  stores_unknown, hoist_loads) -> bool:
+    op = instr.opcode
+    operands_invariant = all(
+        not isinstance(s, VirtualReg) or s not in defined or s in invariant
+        for s in instr.srcs)
+    if not operands_invariant:
+        return False
+    if op in _PURE and op not in _FAULTING:
+        return True
+    if hoist_loads and op in _LOADS:
+        if stores_unknown:
+            return False
+        # base must be traceable and untouched by any loop store
+        base_of = {i.dsts[0]: i.symbol for _, i in fn.instructions()
+                   if i.opcode is Opcode.LOADG}
+        name = _trace_base(fn, instr.srcs[0], base_of)
+        return name is not None and name not in stored
+    return False

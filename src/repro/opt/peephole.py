@@ -1,0 +1,103 @@
+"""Peephole simplifications and control-flow cleanup.
+
+Algebraic identities (x+0, x*1, x*0, x-x, ...) rewrite to moves or
+constants; a ``cbr`` whose arms coincide becomes a ``jump``; empty
+forwarding blocks are skipped over; unreachable blocks are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis import CFG, remove_unreachable_blocks
+from ..ir import Function, Instruction, Opcode, VirtualReg, make_move
+
+
+def _simplify_instr(instr: Instruction) -> Optional[Instruction]:
+    """Return a cheaper equivalent instruction, or None to keep it."""
+    op = instr.opcode
+
+    if op is Opcode.ADDI and instr.imm == 0:
+        return make_move(instr.dsts[0], instr.srcs[0])
+    if op is Opcode.SUBI and instr.imm == 0:
+        return make_move(instr.dsts[0], instr.srcs[0])
+    if op is Opcode.MULTI:
+        if instr.imm == 1:
+            return make_move(instr.dsts[0], instr.srcs[0])
+        if instr.imm == 0:
+            return Instruction(Opcode.LOADI, [instr.dsts[0]], [], imm=0)
+    if op is Opcode.DIVI and instr.imm == 1:
+        return make_move(instr.dsts[0], instr.srcs[0])
+    if op in (Opcode.LSHIFTI, Opcode.RSHIFTI, Opcode.ORI, Opcode.XORI) \
+            and instr.imm == 0:
+        return make_move(instr.dsts[0], instr.srcs[0])
+
+    if op is Opcode.SUB and instr.srcs[0] == instr.srcs[1]:
+        return Instruction(Opcode.LOADI, [instr.dsts[0]], [], imm=0)
+    if op is Opcode.XOR and instr.srcs[0] == instr.srcs[1]:
+        return Instruction(Opcode.LOADI, [instr.dsts[0]], [], imm=0)
+
+    if op in (Opcode.MOV, Opcode.FMOV) and instr.dsts[0] == instr.srcs[0]:
+        return Instruction(Opcode.NOP)
+    return None
+
+
+def peephole(fn: Function) -> int:
+    """Apply local rewrites; returns the number of changes."""
+    changed = 0
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instructions):
+            new = _simplify_instr(instr)
+            if new is not None:
+                block.instructions[idx] = new
+                changed += 1
+        # drop nops
+        before = len(block.instructions)
+        block.instructions = [i for i in block.instructions
+                              if i.opcode is not Opcode.NOP]
+        changed += before - len(block.instructions)
+
+        term = block.terminator
+        if term is not None and term.opcode is Opcode.CBR \
+                and term.labels[0] == term.labels[1]:
+            block.instructions[-1] = Instruction(Opcode.JUMP,
+                                                 labels=[term.labels[0]])
+            changed += 1
+    return changed
+
+
+def simplify_cfg(fn: Function) -> int:
+    """Thread jumps through empty forwarding blocks and prune dead blocks.
+
+    Only runs on phi-free code (it is called after SSA destruction);
+    forwarding through a block that feeds a phi would corrupt the phi's
+    predecessor labels.
+    """
+    if any(block.phis() for block in fn.blocks):
+        return 0
+    changed = 0
+    # map label -> final destination through chains of trivial jumps
+    forward: Dict[str, str] = {}
+    for block in fn.blocks:
+        if len(block.instructions) == 1 and \
+                block.instructions[0].opcode is Opcode.JUMP:
+            forward[block.label] = block.instructions[0].labels[0]
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in forward and label not in seen:
+            seen.add(label)
+            label = forward[label]
+        return label
+
+    for block in fn.blocks:
+        term = block.terminator
+        if term is None:
+            continue
+        for i, target in enumerate(term.labels):
+            final = resolve(target)
+            if final != target:
+                term.labels[i] = final
+                changed += 1
+    changed += remove_unreachable_blocks(fn)
+    return changed

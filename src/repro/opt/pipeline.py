@@ -1,0 +1,83 @@
+"""The scalar-optimization pipeline.
+
+Mirrors the paper's preparation of its test suite (section 4): "All the
+routines were subjected to extensive scalar optimization, including
+global value numbering, global constant propagation, global dead-code
+elimination, ... and peephole optimization" — run before register
+allocation so that the spills the allocators see are genuine pressure,
+not removable redundancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis import build_ssa, destroy_ssa, remove_unreachable_blocks
+from ..ir import Function, Program, verify_function
+from .constprop import sccp
+from .copyprop import copy_propagate
+from .dce import dce
+from .gvn import gvn
+from .licm import licm
+from .peephole import peephole, simplify_cfg
+
+
+@dataclass
+class OptReport:
+    """Counts of rewrites per pass, for logging and tests."""
+
+    rounds: int = 0
+    by_pass: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, count: int) -> None:
+        self.by_pass[name] = self.by_pass.get(name, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_pass.values())
+
+
+def optimize_function(fn: Function, max_rounds: int = 8,
+                      check: bool = False,
+                      enable_licm: bool = False) -> OptReport:
+    """Run the scalar pipeline on one function, to a fixed point.
+
+    ``enable_licm`` adds loop-invariant code motion with load promotion
+    — the pressure-raising "heroic" transformation of the paper's
+    section 2.2.  It is off by default so the suite's calibrated
+    pressure profiles stay put; the design-ablation benchmark measures
+    its interaction with the CCM.
+    """
+    report = OptReport()
+    remove_unreachable_blocks(fn)
+    build_ssa(fn)
+    passes = [("sccp", sccp), ("gvn", gvn), ("copyprop", copy_propagate),
+              ("dce", dce), ("peephole", peephole)]
+    if enable_licm:
+        passes.insert(2, ("licm", licm))
+    for _ in range(max_rounds):
+        round_changes = 0
+        for name, pass_fn in passes:
+            count = pass_fn(fn)
+            report.add(name, count)
+            round_changes += count
+            if check:
+                verify_function(fn)
+        report.rounds += 1
+        if round_changes == 0:
+            break
+    destroy_ssa(fn)
+    # NOTE: copyprop/dce assume single-assignment names and must not run
+    # after SSA destruction; only the (name-agnostic) CFG cleanup may.
+    report.add("cfg", simplify_cfg(fn))
+    if check:
+        verify_function(fn)
+    return report
+
+
+def optimize_program(prog: Program, max_rounds: int = 8,
+                     check: bool = False,
+                     enable_licm: bool = False) -> Dict[str, OptReport]:
+    return {name: optimize_function(fn, max_rounds, check, enable_licm)
+            for name, fn in prog.functions.items()}

@@ -1,0 +1,17 @@
+"""Chaitin-Briggs register allocation with pluggable spill placement."""
+
+from .calls import ConventionError, lower_calling_convention
+from .chaitin_briggs import (AllocationError, AllocationResult,
+                             ChaitinBriggsAllocator, SpillLocation,
+                             StackSlotProvider, allocate_function)
+from .interference import (InterferenceGraph,
+                           build_interference_graph, to_dot)
+from .spill_costs import INFINITE, compute_spill_costs
+
+__all__ = [
+    "ConventionError", "lower_calling_convention", "AllocationError",
+    "AllocationResult", "ChaitinBriggsAllocator", "SpillLocation",
+    "StackSlotProvider", "allocate_function", "InterferenceGraph",
+    "build_interference_graph", "to_dot", "INFINITE",
+    "compute_spill_costs",
+]

@@ -1,0 +1,103 @@
+"""Calling-convention lowering.
+
+Rewrites abstract calls (virtual-register arguments and results) into the
+machine convention: arguments in ``r1..rN`` / ``f1..fN``, results in
+``r0`` / ``f0``.  After this pass the physical argument/return registers
+appear as precolored live ranges in the allocator's interference graph.
+
+When the machine reserves callee-saved registers, each function gets the
+standard prologue-copy idiom: the callee-saved file is copied into fresh
+temporaries at entry and restored before every return.  If the registers
+go unused the copies coalesce away; under pressure the temporaries spill,
+which *is* the callee's save/restore sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir import (Function, Instruction, Opcode, PhysReg, Program, RegClass,
+                  VirtualReg, make_move)
+from ..machine import MachineConfig
+
+
+class ConventionError(ValueError):
+    """The program cannot be expressed in the calling convention."""
+
+
+def lower_calling_convention(fn: Function, machine: MachineConfig) -> None:
+    """Rewrite ``fn`` (in place) to pass values in convention registers."""
+    _lower_params(fn, machine)
+    _lower_calls_and_returns(fn, machine)
+    _insert_callee_saved_copies(fn, machine)
+
+
+def _assign_arg_regs(args: List, machine: MachineConfig) -> List[PhysReg]:
+    """Physical argument register for each argument, by class, in order."""
+    counters = {RegClass.INT: 0, RegClass.FLOAT: 0}
+    result = []
+    for arg in args:
+        rclass = arg.rclass
+        index = counters[rclass]
+        pool = machine.arg_regs(rclass)
+        if index >= len(pool):
+            raise ConventionError(
+                f"more than {len(pool)} {rclass.value} arguments")
+        result.append(pool[index])
+        counters[rclass] = index + 1
+    return result
+
+
+def _lower_params(fn: Function, machine: MachineConfig) -> None:
+    if not fn.params or all(isinstance(p, PhysReg) for p in fn.params):
+        return
+    arg_regs = _assign_arg_regs(fn.params, machine)
+    copies = [make_move(param, phys)
+              for param, phys in zip(fn.params, arg_regs)]
+    fn.entry.instructions[0:0] = copies
+    fn.params = arg_regs
+
+
+def _lower_calls_and_returns(fn: Function, machine: MachineConfig) -> None:
+    for block in fn.blocks:
+        rewritten: List[Instruction] = []
+        for instr in block.instructions:
+            if instr.opcode is Opcode.CALL and any(
+                    isinstance(r, VirtualReg) for r in instr.regs()):
+                arg_regs = _assign_arg_regs(instr.srcs, machine)
+                for arg, phys in zip(instr.srcs, arg_regs):
+                    rewritten.append(make_move(phys, arg))
+                new_dsts: List = []
+                post: List[Instruction] = []
+                if instr.dsts:
+                    ret_phys = machine.return_reg(instr.dsts[0].rclass)
+                    new_dsts = [ret_phys]
+                    post = [make_move(instr.dsts[0], ret_phys)]
+                rewritten.append(Instruction(Opcode.CALL, new_dsts, arg_regs,
+                                             symbol=instr.symbol))
+                rewritten.extend(post)
+            elif instr.opcode is Opcode.RET and instr.srcs and \
+                    isinstance(instr.srcs[0], VirtualReg):
+                ret_phys = machine.return_reg(instr.srcs[0].rclass)
+                rewritten.append(make_move(ret_phys, instr.srcs[0]))
+                rewritten.append(Instruction(Opcode.RET, [], [ret_phys]))
+            else:
+                rewritten.append(instr)
+        block.instructions = rewritten
+
+
+def _insert_callee_saved_copies(fn: Function, machine: MachineConfig) -> None:
+    saved = (machine.callee_saved(RegClass.INT)
+             + machine.callee_saved(RegClass.FLOAT))
+    if not saved:
+        return
+    temps: Dict[PhysReg, VirtualReg] = {
+        phys: fn.new_vreg(phys.rclass) for phys in saved}
+    prologue = [make_move(temps[phys], phys) for phys in saved]
+    # entry already begins with parameter copies; saving after them is fine
+    fn.entry.instructions[0:0] = prologue
+    for block in fn.blocks:
+        term = block.terminator
+        if term is not None and term.opcode is Opcode.RET:
+            restores = [make_move(phys, temps[phys]) for phys in saved]
+            block.instructions[-1:-1] = restores

@@ -1,0 +1,422 @@
+"""The Chaitin-Briggs graph-coloring register allocator.
+
+Structure follows Briggs' thesis (the paper's reference [4]) and the
+expanded algorithm of the paper's Figure 2:
+
+    loop until no new spill code is added:
+        build live ranges / interference graph
+        coalesce copies (conservative)           -- repeat to fixed point
+        calculate spill costs
+        simplify                                  -- optimistic (Briggs)
+        select
+        spill                                     -- via a pluggable slot
+                                                     provider; the CCM-
+                                                     integrated allocator
+                                                     substitutes its own
+
+The spill-location decision is delegated to a *slot provider* so the
+paper's integrated CCM allocator (section 3.2) can reuse this entire
+machinery, changing only the emboldened steps of Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import (Function, Instruction, Opcode, PhysReg, RegClass,
+                  VirtualReg, make_ccm_load, make_ccm_store, make_move,
+                  make_reload, make_spill)
+from ..machine import MachineConfig
+from .interference import (InterferenceGraph, PseudoNode,
+                           build_interference_graph)
+from .spill_costs import INFINITE, compute_spill_costs
+
+
+class AllocationError(RuntimeError):
+    """The allocator could not make progress (should not happen on
+    well-formed input with a sane machine description)."""
+
+
+@dataclass
+class SpillLocation:
+    """Where a spilled live range lives: the stack frame or the CCM."""
+
+    kind: str          # "stack" | "ccm"
+    offset: int
+    size: int
+
+
+class StackSlotProvider:
+    """Default provider: every spill gets a fresh stack slot (this is the
+    paper's baseline — the traditional allocator simply 'extends the
+    activation record')."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+
+    def assign(self, reg, graph: InterferenceGraph) -> SpillLocation:
+        size = reg.rclass.size_bytes
+        offset = _align(self.fn.frame_size, size)
+        self.fn.frame_size = offset + size
+        return SpillLocation("stack", offset, size)
+
+    def note_spill_code(self, reg, location: SpillLocation,
+                        stores: List[Instruction],
+                        loads: List[Instruction]) -> None:
+        """Hook invoked after spill code is emitted; default: nothing."""
+
+
+def _align(value: int, size: int) -> int:
+    return (value + size - 1) & ~(size - 1)
+
+
+@dataclass
+class AllocationResult:
+    """What allocation did, for the experiment harness and the tests."""
+
+    fn: Function
+    rounds: int = 0
+    spilled: List = field(default_factory=list)
+    rematerialized: List = field(default_factory=list)
+    locations: Dict[object, SpillLocation] = field(default_factory=dict)
+    assignment: Dict[VirtualReg, PhysReg] = field(default_factory=dict)
+    coalesced: int = 0
+
+    @property
+    def spill_bytes(self) -> int:
+        """Bytes of stack spill memory (the 'Before' column of Table 1)."""
+        return self.fn.frame_size
+
+    @property
+    def ccm_spills(self) -> List:
+        return [r for r, loc in self.locations.items() if loc.kind == "ccm"]
+
+
+class ChaitinBriggsAllocator:
+    """Allocates one function.  See module docstring for the structure."""
+
+    MAX_ROUNDS = 60
+
+    def __init__(self, fn: Function, machine: MachineConfig,
+                 slot_provider=None, graph_hook=None,
+                 rematerialize: bool = True):
+        self.fn = fn
+        self.machine = machine
+        self.slot_provider = slot_provider or StackSlotProvider(fn)
+        self.graph_hook = graph_hook
+        self.rematerialize = rematerialize
+        self.no_spill: Set[VirtualReg] = set()
+        self.result = AllocationResult(fn)
+
+    # -- public entry --------------------------------------------------------
+
+    def run(self) -> AllocationResult:
+        for _ in range(self.MAX_ROUNDS):
+            self.result.rounds += 1
+            graph = self._build()
+            self.result.coalesced += self._coalesce(graph)
+            costs = compute_spill_costs(self.fn, self.no_spill)
+            stack = self._simplify(graph, costs)
+            assignment, actual_spills = self._select(graph, stack)
+            if not actual_spills:
+                self._rewrite(assignment)
+                self.result.assignment = assignment
+                return self.result
+            self._insert_spill_code(actual_spills, graph)
+        raise AllocationError(
+            f"{self.fn.name}: no fixed point after {self.MAX_ROUNDS} rounds")
+
+    # -- phases ------------------------------------------------------------------
+
+    def _build(self) -> InterferenceGraph:
+        return build_interference_graph(self.fn, self.machine,
+                                        self.graph_hook)
+
+    def _k(self, rclass: RegClass) -> int:
+        return self.machine.n_regs(rclass)
+
+    # .. coalescing ...............................................................
+
+    def _coalesce(self, graph: InterferenceGraph) -> int:
+        """Conservatively merge move-related nodes in the graph, then
+        rewrite the code once.  Returns the number of merges."""
+        alias: Dict[object, object] = {}
+
+        def find(node):
+            while node in alias:
+                node = alias[node]
+            return node
+
+        merged = 0
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(graph.moves):
+                a, b = find(a), find(b)
+                if a == b:
+                    continue
+                if isinstance(a, VirtualReg) and isinstance(b, PhysReg):
+                    a, b = b, a  # keep the physical register
+                if isinstance(b, PhysReg):
+                    continue  # never merge two physical registers
+                if graph.interferes(a, b):
+                    continue
+                if not self._can_coalesce(graph, a, b):
+                    continue
+                self._merge_nodes(graph, a, b)
+                alias[b] = a
+                merged += 1
+                changed = True
+
+        if merged:
+            self._rewrite_aliases(find)
+        return merged
+
+    def _can_coalesce(self, graph: InterferenceGraph, a, b) -> bool:
+        k = self._k(b.rclass)
+        if isinstance(a, PhysReg):
+            # George test: every neighbor of b must either already
+            # conflict with a (distinct physical registers always do)
+            # or be insignificant.
+            return all(graph.interferes(t, a)
+                       or (isinstance(t, PhysReg) and t != a)
+                       or self._node_degree(graph, t) < k
+                       for t in graph.neighbors(b))
+        # Briggs test: the merged node has < k significant neighbors.
+        combined = graph.neighbors(a) | graph.neighbors(b)
+        significant = sum(1 for t in combined
+                          if self._node_degree(graph, t) >= k)
+        return significant < k
+
+    def _node_degree(self, graph: InterferenceGraph, node) -> float:
+        if isinstance(node, PseudoNode):
+            return 0  # CCM locations never constrain coloring
+        if isinstance(node, PhysReg):
+            return math.inf  # precolored nodes are always significant
+        return self._color_degree(graph, node)
+
+    @staticmethod
+    def _color_degree(graph: InterferenceGraph, node) -> int:
+        """Degree counting only register neighbors (pseudo nodes are
+        ignored during allocation, per the paper)."""
+        return sum(1 for t in graph.neighbors(node)
+                   if not isinstance(t, PseudoNode))
+
+    def _merge_nodes(self, graph: InterferenceGraph, a, b) -> None:
+        for t in list(graph.neighbors(b)):
+            graph.adj[t].discard(b)
+            if isinstance(t, PseudoNode):
+                graph.add_pseudo_edge(a, t)
+            else:
+                graph.add_edge(a, t)
+        graph.adj.pop(b, None)
+        graph.moves = {(x if x != b else a, y if y != b else a)
+                       for x, y in graph.moves}
+
+    def _rewrite_aliases(self, find) -> None:
+        for block in self.fn.blocks:
+            kept = []
+            for instr in block.instructions:
+                for i, reg in enumerate(instr.srcs):
+                    instr.srcs[i] = find(reg)
+                for i, reg in enumerate(instr.dsts):
+                    instr.dsts[i] = find(reg)
+                if instr.is_move and instr.srcs[0] == instr.dsts[0]:
+                    continue  # coalesced copy disappears
+                kept.append(instr)
+            block.instructions = kept
+        self.fn.params = [find(p) for p in self.fn.params]
+
+    # .. simplify / select ...........................................................
+
+    def _simplify(self, graph: InterferenceGraph, costs) -> List[Tuple]:
+        """Remove nodes, cheapest-first when blocked (optimistic spilling).
+
+        Returns the select stack of (node, potential_spill) pairs."""
+        degrees: Dict[object, int] = {}
+        removable: Set = set()
+        for node in graph.nodes():
+            if isinstance(node, VirtualReg):
+                removable.add(node)
+                degrees[node] = self._color_degree(graph, node)
+        stack: List[Tuple] = []
+
+        def remove(node, potential: bool) -> None:
+            stack.append((node, potential))
+            removable.discard(node)
+            for t in graph.neighbors(node):
+                if t in degrees:
+                    degrees[t] -= 1
+
+        while removable:
+            trivially = [n for n in removable
+                         if degrees[n] < self._k(n.rclass)]
+            if trivially:
+                for node in trivially:
+                    remove(node, potential=False)
+                continue
+            # blocked: choose the cheapest spill candidate (cost / degree)
+            best = min(removable,
+                       key=lambda n: (costs.get(n, 0.0) / max(degrees[n], 1)))
+            remove(best, potential=True)
+        return stack
+
+    def _select(self, graph: InterferenceGraph, stack: List[Tuple]):
+        assignment: Dict[VirtualReg, PhysReg] = {}
+        actual_spills: List[VirtualReg] = []
+        for node, potential in reversed(stack):
+            k = self._k(node.rclass)
+            taken: Set[int] = set()
+            for t in graph.neighbors(node):
+                if isinstance(t, PhysReg):
+                    taken.add(t.index)
+                elif t in assignment:
+                    taken.add(assignment[t].index)
+            color = next((c for c in range(k) if c not in taken), None)
+            if color is None:
+                if node in self.no_spill:
+                    raise AllocationError(
+                        f"{self.fn.name}: spill temporary {node} is "
+                        f"uncolorable; register pressure exceeds the machine")
+                actual_spills.append(node)
+            else:
+                assignment[node] = PhysReg(color, node.rclass)
+        return assignment, actual_spills
+
+    # .. spill code ..................................................................
+
+    # .. rematerialization (Briggs): a value defined only by constant
+    # loads is recomputed at each use instead of being stored/reloaded ..
+
+    def _remat_template(self, reg) -> Optional[Instruction]:
+        """The constant-load instruction to clone per use, or None."""
+        if not self.rematerialize:
+            return None
+        remat_ops = (Opcode.LOADI, Opcode.LOADFI, Opcode.LOADG)
+        template: Optional[Instruction] = None
+        for _, instr in self.fn.instructions():
+            if reg not in instr.dsts:
+                continue
+            if instr.opcode not in remat_ops:
+                return None
+            if template is None:
+                template = instr
+            elif (instr.opcode is not template.opcode
+                  or instr.imm != template.imm
+                  or instr.symbol != template.symbol):
+                return None
+        return template
+
+    def _rematerialize_reg(self, reg, template: Instruction) -> None:
+        """Replace reg's defs with nothing and its uses with clones."""
+        for block in self.fn.blocks:
+            rewritten: List[Instruction] = []
+            for instr in block.instructions:
+                if instr.dsts == [reg] and instr.opcode is template.opcode \
+                        and instr.imm == template.imm \
+                        and instr.symbol == template.symbol:
+                    continue  # the definition disappears
+                if reg in instr.srcs:
+                    temp = self.fn.new_vreg(reg.rclass)
+                    self.no_spill.add(temp)
+                    clone = template.copy()
+                    clone.dsts = [temp]
+                    rewritten.append(clone)
+                    instr.replace_src(reg, temp)
+                rewritten.append(instr)
+            block.instructions = rewritten
+        self.result.rematerialized.append(reg)
+
+    def _insert_spill_code(self, spills: List[VirtualReg],
+                           graph: InterferenceGraph) -> None:
+        remaining: List[VirtualReg] = []
+        for reg in spills:
+            template = self._remat_template(reg)
+            if template is not None:
+                self._rematerialize_reg(reg, template)
+            else:
+                remaining.append(reg)
+        spills = remaining
+
+        locations = {}
+        for reg in spills:
+            location = self.slot_provider.assign(reg, graph)
+            locations[reg] = location
+            self.result.locations[reg] = location
+            self.result.spilled.append(reg)
+        spill_set = set(spills)
+
+        for block in self.fn.blocks:
+            rewritten: List[Instruction] = []
+            for instr in block.instructions:
+                used = [r for r in instr.srcs if r in spill_set]
+                defined = [r for r in instr.dsts if r in spill_set]
+                temps: Dict[VirtualReg, VirtualReg] = {}
+                pre: List[Instruction] = []
+                post: List[Instruction] = []
+                for reg in used:
+                    if reg in temps:
+                        continue
+                    temp = self.fn.new_vreg(reg.rclass)
+                    self.no_spill.add(temp)
+                    temps[reg] = temp
+                    load = self._make_load(temp, locations[reg])
+                    pre.append(load)
+                    self.slot_provider.note_spill_code(
+                        reg, locations[reg], [], [load])
+                for reg in defined:
+                    temp = temps.get(reg)
+                    if temp is None:
+                        temp = self.fn.new_vreg(reg.rclass)
+                        self.no_spill.add(temp)
+                        temps[reg] = temp
+                    store = self._make_store(temp, locations[reg])
+                    post.append(store)
+                    self.slot_provider.note_spill_code(
+                        reg, locations[reg], [store], [])
+                for reg, temp in temps.items():
+                    instr.replace_src(reg, temp)
+                    instr.replace_dst(reg, temp)
+                rewritten.extend(pre)
+                rewritten.append(instr)
+                rewritten.extend(post)
+            block.instructions = rewritten
+
+    def _make_store(self, temp, location: SpillLocation) -> Instruction:
+        if location.kind == "ccm":
+            return make_ccm_store(temp, location.offset)
+        return make_spill(temp, location.offset)
+
+    def _make_load(self, temp, location: SpillLocation) -> Instruction:
+        if location.kind == "ccm":
+            return make_ccm_load(temp, location.offset)
+        return make_reload(temp, location.offset)
+
+    # .. final rewrite ................................................................
+
+    def _rewrite(self, assignment: Dict[VirtualReg, PhysReg]) -> None:
+        for block in self.fn.blocks:
+            kept = []
+            for instr in block.instructions:
+                for i, reg in enumerate(instr.srcs):
+                    if isinstance(reg, VirtualReg):
+                        instr.srcs[i] = assignment[reg]
+                for i, reg in enumerate(instr.dsts):
+                    if isinstance(reg, VirtualReg):
+                        instr.dsts[i] = assignment[reg]
+                if instr.is_move and instr.srcs[0] == instr.dsts[0]:
+                    continue
+                kept.append(instr)
+            block.instructions = kept
+        self.fn.params = [assignment.get(p, p) if isinstance(p, VirtualReg)
+                          else p for p in self.fn.params]
+
+
+def allocate_function(fn: Function, machine: MachineConfig,
+                      slot_provider=None, graph_hook=None,
+                      rematerialize: bool = True) -> AllocationResult:
+    """Allocate registers for ``fn`` in place; returns the result record."""
+    return ChaitinBriggsAllocator(fn, machine, slot_provider, graph_hook,
+                                  rematerialize).run()

@@ -1,0 +1,167 @@
+"""Interference-graph construction for register allocation.
+
+Nodes are live ranges: virtual registers plus any physical registers the
+calling-convention lowering introduced (precolored nodes).  Edges only
+join nodes of the same register class — INT and FLOAT files are colored
+independently in one graph.
+
+Call instructions clobber every caller-saved physical register, so each
+value live across a call interferes with the whole caller-saved file of
+its class; with the default all-caller-saved convention this forces such
+values to memory, which is precisely the spill population the paper's
+CCM allocators then compete over.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..analysis import CFG, compute_liveness
+from ..ir import Function, Instruction, PhysReg, RegClass, VirtualReg
+from ..machine import MachineConfig
+
+
+class PseudoNode:
+    """Base class for non-register graph nodes (e.g. CCM locations).
+
+    The paper (section 3.2): "The allocator ignores these edges during
+    allocation and uses them during spill code insertion."  Simplify,
+    select, and the coalescing tests treat pseudo nodes as invisible;
+    only the spill-slot provider reads their edges.
+    """
+
+    rclass = None
+
+
+class InterferenceGraph:
+    """Undirected graph over live ranges, plus the move-related pairs."""
+
+    def __init__(self):
+        self.adj: Dict[object, Set] = defaultdict(set)
+        self.moves: Set[Tuple] = set()  # unordered move-related pairs
+
+    def add_node(self, node) -> None:
+        self.adj[node]  # defaultdict materializes
+
+    def add_edge(self, a, b) -> None:
+        if a == b:
+            return
+        if a.rclass is not b.rclass:
+            return
+        self.adj[a].add(b)
+        self.adj[b].add(a)
+
+    def add_pseudo_edge(self, node, pseudo: "PseudoNode") -> None:
+        """Edge between a register and a pseudo node (class-agnostic: a
+        CCM byte range conflicts with values of either class)."""
+        self.adj[node].add(pseudo)
+        self.adj[pseudo].add(node)
+
+    def interferes(self, a, b) -> bool:
+        return b in self.adj.get(a, ())
+
+    def neighbors(self, node) -> Set:
+        return self.adj.get(node, set())
+
+    def degree(self, node) -> int:
+        return len(self.adj.get(node, ()))
+
+    def nodes(self) -> List:
+        return list(self.adj.keys())
+
+    def add_move(self, a, b) -> None:
+        if a != b and a.rclass is b.rclass:
+            self.moves.add((a, b) if repr(a) <= repr(b) else (b, a))
+
+    def __len__(self) -> int:
+        return len(self.adj)
+
+
+def build_interference_graph(fn: Function, machine: MachineConfig,
+                             extra_node_hook=None) -> InterferenceGraph:
+    """Construct the interference graph for ``fn``.
+
+    ``extra_node_hook`` is an object with ``begin(fn, graph)`` and
+    ``visit(label, instr, live_after, graph)`` methods, invoked in the
+    same backward walk that builds register interference; it lets the
+    integrated CCM allocator splice CCM-location names into the same
+    graph (paper section 3.2) without this module knowing about them.
+    """
+    graph = InterferenceGraph()
+    cfg = CFG(fn)
+    liveness = compute_liveness(fn, cfg)
+
+    for reg in fn.all_registers():
+        graph.add_node(reg)
+
+    # Parameters are defined implicitly at function entry: they carry
+    # distinct incoming values, so they interfere pairwise and with
+    # everything else live into the entry block.
+    entry_live = set(liveness.live_in[fn.entry.label]) | set(fn.params)
+    for a in fn.params:
+        for b in entry_live:
+            graph.add_edge(a, b)
+
+    caller_saved = {
+        RegClass.INT: machine.caller_saved(RegClass.INT),
+        RegClass.FLOAT: machine.caller_saved(RegClass.FLOAT),
+    }
+
+    if extra_node_hook is not None:
+        extra_node_hook.begin(fn, graph)
+
+    for block in fn.blocks:
+        for _, instr, live_after in liveness.live_across_instructions(block.label):
+            if instr.is_move:
+                src = instr.srcs[0]
+                graph.add_move(instr.dsts[0], src)
+                for live in live_after:
+                    if live != src:
+                        graph.add_edge(instr.dsts[0], live)
+            else:
+                for dst in instr.dsts:
+                    for live in live_after:
+                        graph.add_edge(dst, live)
+                    for other in instr.dsts:
+                        graph.add_edge(dst, other)
+            if instr.is_call:
+                for rclass, regs in caller_saved.items():
+                    for phys in regs:
+                        graph.add_node(phys)
+                        for live in live_after:
+                            if live not in instr.dsts:
+                                graph.add_edge(phys, live)
+            if extra_node_hook is not None:
+                extra_node_hook.visit(block.label, instr, live_after, graph)
+    return graph
+
+
+def to_dot(graph: InterferenceGraph, max_nodes: int = 200) -> str:
+    """GraphViz dot text for an interference graph (debugging aid).
+
+    Interference edges are solid, move-related pairs dashed, CCM
+    pseudo-nodes boxed.  Truncates to ``max_nodes`` for readability.
+    """
+    lines = ["graph interference {", "  node [fontsize=10];"]
+    nodes = graph.nodes()[:max_nodes]
+    node_set = set(nodes)
+    for node in nodes:
+        shape = "box" if isinstance(node, PseudoNode) else (
+            "doublecircle" if isinstance(node, PhysReg) else "ellipse")
+        lines.append(f'  "{node!r}" [shape={shape}];')
+    seen = set()
+    for node in nodes:
+        for other in graph.neighbors(node):
+            if other not in node_set:
+                continue
+            key = frozenset((repr(node), repr(other)))
+            if key in seen:
+                continue
+            seen.add(key)
+            lines.append(f'  "{node!r}" -- "{other!r}";')
+    for a, b in graph.moves:
+        if a in node_set and b in node_set:
+            lines.append(f'  "{a!r}" -- "{b!r}" [style=dashed];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Chaitin-style spill-cost estimation.
+
+Each definition or use of a live range contributes ``10 ** loop_depth``
+(a static execution-frequency estimate); the simplify phase picks the
+node minimizing cost / degree when it must choose a spill candidate.
+
+Temporaries created by spill-code insertion are marked infinite-cost:
+re-spilling them cannot make progress, and trying to is the classic
+non-termination bug in coloring allocators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Set
+
+from ..analysis import LoopInfo
+from ..ir import Function, VirtualReg
+
+INFINITE = math.inf
+
+
+def compute_spill_costs(fn: Function, no_spill: Set = frozenset(),
+                        loop_info: LoopInfo = None) -> Dict[object, float]:
+    """Spill cost per register appearing in ``fn``."""
+    loops = loop_info or LoopInfo(fn)
+    costs: Dict[object, float] = {}
+    for block in fn.blocks:
+        weight = loops.block_frequency(block.label)
+        for instr in block.instructions:
+            for reg in instr.regs():
+                costs[reg] = costs.get(reg, 0.0) + weight
+    for reg in no_spill:
+        costs[reg] = INFINITE
+    return costs

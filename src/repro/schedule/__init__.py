@@ -1,0 +1,6 @@
+"""Post-allocation instruction scheduling (the section 4.3 extension)."""
+
+from .list_scheduler import (schedule_block, schedule_function,
+                             schedule_program)
+
+__all__ = ["schedule_block", "schedule_function", "schedule_program"]

@@ -1,0 +1,198 @@
+"""Local list scheduling, post-register-allocation.
+
+The paper (section 4.3) "declined to consider the effects of
+scheduling, which can simultaneously hide the memory latencies and
+cause added spilling."  This module lets the repository measure the
+first half of that sentence: on the pipelined-load machine model
+(``MachineConfig(pipelined_loads=True)``), a load's remaining latency is
+hidden if an independent instruction sits between the load and its
+first consumer, and the scheduler's job is to put one there.
+
+Scheduling runs *after* allocation (so it cannot add spilling — the
+second half of the paper's sentence is deliberately avoided, like the
+paper did) and is purely local:
+
+* a dependence DAG per basic block: true (def->use), anti (use->def),
+  and output (def->def) register dependences, plus memory dependences
+  — main-memory operations stay in order relative to each other
+  (no alias information survives allocation), spill/CCM slot accesses
+  are disambiguated exactly by (space, offset), and CALLs are barriers;
+* greedy list scheduling by critical-path priority with the machine's
+  latencies; the block terminator always issues last.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import (CCM_LOADS, CCM_STORES, Function, Instruction, Opcode,
+                  Program, SPILL_LOADS, SPILL_STORES)
+from ..machine import MachineConfig
+
+_MAIN_MEMORY = {Opcode.LOAD, Opcode.FLOAD, Opcode.STORE, Opcode.FSTORE,
+                Opcode.LOADAI, Opcode.FLOADAI, Opcode.STOREAI,
+                Opcode.FSTOREAI}
+
+
+def _memory_token(instr: Instruction) -> Optional[Tuple]:
+    """A disambiguation key for memory effects; None = not a memory op.
+
+    Main-memory program accesses share one token (conservative); spill
+    and CCM accesses are precise by offset.
+    """
+    op = instr.opcode
+    if op in _MAIN_MEMORY:
+        return ("mem",)
+    if op in SPILL_STORES or op in SPILL_LOADS:
+        return ("spill", instr.imm)
+    if op in CCM_STORES or op in CCM_LOADS:
+        return ("ccm", instr.imm)
+    return None
+
+
+def _is_memory_write(instr: Instruction) -> bool:
+    return instr.meta.is_store
+
+
+@dataclass
+class _Node:
+    index: int
+    instr: Instruction
+    succs: Set[int]
+    preds: Set[int]
+    priority: int = 0
+
+
+def _build_dag(instrs: List[Instruction]) -> List[_Node]:
+    nodes = [_Node(i, instr, set(), set()) for i, instr in enumerate(instrs)]
+
+    def add_edge(a: int, b: int) -> None:
+        if a != b:
+            nodes[a].succs.add(b)
+            nodes[b].preds.add(a)
+
+    last_def: Dict[object, int] = {}
+    last_uses: Dict[object, List[int]] = defaultdict(list)
+    last_write_for: Dict[Tuple, int] = {}
+    last_reads_for: Dict[Tuple, List[int]] = defaultdict(list)
+    last_barrier: Optional[int] = None
+
+    for i, instr in enumerate(instrs):
+        # register dependences
+        for src in instr.srcs:
+            if src in last_def:
+                add_edge(last_def[src], i)          # true
+        for dst in instr.dsts:
+            if dst in last_def:
+                add_edge(last_def[dst], i)          # output
+            for user in last_uses.get(dst, ()):
+                add_edge(user, i)                   # anti
+        for src in instr.srcs:
+            last_uses[src].append(i)
+        for dst in instr.dsts:
+            last_def[dst] = i
+            last_uses[dst] = []
+
+        # memory dependences
+        token = _memory_token(instr)
+        if instr.is_call:
+            # barrier: ordered against every outstanding memory op
+            for j in range(i):
+                if _memory_token(instrs[j]) is not None or instrs[j].is_call:
+                    add_edge(j, i)
+            last_barrier = i
+        elif token is not None:
+            if last_barrier is not None:
+                add_edge(last_barrier, i)
+            if _is_memory_write(instr):
+                if token in last_write_for:
+                    add_edge(last_write_for[token], i)
+                for reader in last_reads_for.get(token, ()):
+                    add_edge(reader, i)
+                last_write_for[token] = i
+                last_reads_for[token] = []
+            else:
+                if token in last_write_for:
+                    add_edge(last_write_for[token], i)
+                last_reads_for[token].append(i)
+        # the terminator depends on everything
+    if instrs and instrs[-1].is_branch:
+        term = len(instrs) - 1
+        for j in range(term):
+            add_edge(j, term)
+    return nodes
+
+
+def _latency(instr: Instruction, machine: MachineConfig) -> int:
+    if instr.meta.is_ccm:
+        return machine.ccm_latency
+    if instr.meta.is_main_memory:
+        return machine.memory_latency
+    return machine.default_latency
+
+
+def schedule_block(instrs: List[Instruction],
+                   machine: MachineConfig) -> List[Instruction]:
+    """Reorder one block's instructions; the terminator stays last."""
+    if len(instrs) <= 2:
+        return list(instrs)
+    nodes = _build_dag(instrs)
+
+    # critical-path priority (longest latency-weighted path to any leaf)
+    for node in reversed(nodes):
+        base = _latency(node.instr, machine)
+        node.priority = base + max((nodes[s].priority for s in node.succs),
+                                   default=0)
+
+    ready = [n.index for n in nodes if not n.preds]
+    in_flight: List[Tuple[int, int]] = []   # (ready_cycle, node index)
+    pending_preds = {n.index: set(n.preds) for n in nodes}
+    scheduled: List[Instruction] = []
+    cycle = 0
+
+    def release(index: int) -> None:
+        for succ in nodes[index].succs:
+            pending_preds[succ].discard(index)
+            if not pending_preds[succ]:
+                ready.append(succ)
+
+    while ready or in_flight:
+        while ready:
+            # pick the highest-priority ready node (stable by index)
+            ready.sort(key=lambda i: (-nodes[i].priority, i))
+            index = ready.pop(0)
+            scheduled.append(nodes[index].instr)
+            finish = cycle + _latency(nodes[index].instr, machine)
+            in_flight.append((finish, index))
+            cycle += 1
+            # release successors whose producers have finished
+            done = [(f, i) for f, i in in_flight if f <= cycle]
+            for f, i in done:
+                in_flight.remove((f, i))
+                release(i)
+        if in_flight:
+            # advance time to the next completion
+            in_flight.sort()
+            finish, index = in_flight.pop(0)
+            cycle = max(cycle, finish)
+            release(index)
+    assert len(scheduled) == len(instrs)
+    return scheduled
+
+
+def schedule_function(fn: Function, machine: MachineConfig) -> int:
+    """Schedule every block; returns the number of instructions moved."""
+    moved = 0
+    for block in fn.blocks:
+        new_order = schedule_block(block.instructions, machine)
+        moved += sum(1 for a, b in zip(block.instructions, new_order)
+                     if a is not b)
+        block.instructions = new_order
+    return moved
+
+
+def schedule_program(program: Program, machine: MachineConfig) -> int:
+    return sum(schedule_function(fn, machine)
+               for fn in program.functions.values())

@@ -1,0 +1,15 @@
+"""Workloads: the 59-routine suite and the Figure-3/4 programs."""
+
+from .generator import (ARRAY_LEN, N_ARRAYS, RoutineProfile,
+                        generate_kernel_source, generate_program_source,
+                        generate_routine_source)
+from .programs import (PROGRAM_ROUTINES, build_program, program_names,
+                       program_source)
+from .suite import build_routine, routine_profile, routine_source, suite_names
+
+__all__ = [
+    "ARRAY_LEN", "N_ARRAYS", "RoutineProfile", "generate_kernel_source",
+    "generate_program_source", "generate_routine_source",
+    "PROGRAM_ROUTINES", "build_program", "program_names", "program_source",
+    "build_routine", "routine_profile", "routine_source", "suite_names",
+]

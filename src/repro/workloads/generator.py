@@ -1,0 +1,235 @@
+"""Deterministic generator of spill-heavy MFL kernels.
+
+The paper's suite is 59 Fortran routines (Forsythe et al., SPEC '89,
+SPEC '95) that require spill code under a 64-register machine.  Those
+sources are not redistributable, so each routine is replaced by a
+synthetic kernel *calibrated to a register-pressure profile*: what the
+experiments measure is the behaviour of allocator-inserted spill code,
+which the profile controls directly.
+
+Pressure recipe (all knobs per-routine, seeded by the routine name):
+
+* ``held`` values — loaded before the main loop, used in every
+  iteration: long live ranges crossing the loop back edge.  When they
+  spill, the reload sits in the loop body — the expensive, promotable
+  spill traffic the CCM targets.
+* ``stages`` of ``width`` fresh values per iteration — short, disjoint
+  lifetimes.  Their spill slots are what coloring compaction (Table 1)
+  merges: more stages, better After/Before ratio.
+* loop ``depth`` — scales the static spill costs exactly as the
+  allocator's 10^depth heuristic expects.
+* ``calls`` — "leaf"/"chain" routines keep values live across calls,
+  splitting the intraprocedural and interprocedural CCM allocators.
+* ``unroll`` — the paper's 'X' routines were loop-transformed to enable
+  prefetching, "greatly increasing the register pressure"; unrolling
+  reproduces that.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: shared data tables, COMMON-block style; strictly positive values so
+#: division is always safe
+ARRAY_LEN = 256
+N_ARRAYS = 4
+
+
+@dataclass(frozen=True)
+class RoutineProfile:
+    """Pressure profile for one synthetic routine."""
+
+    name: str
+    held: int = 8            # values live across the whole loop
+    stages: int = 2          # disjoint-lifetime phases per iteration
+    width: int = 12          # float temps per stage
+    int_width: int = 4       # int index temps per stage
+    depth: int = 1           # loop nest depth (1..3)
+    iters: int = 40          # innermost trip count (total, across nest)
+    calls: str = "none"      # "none" | "leaf" | "chain"
+    unroll: int = 1          # body replication (the paper's X routines)
+
+    @property
+    def seed(self) -> int:
+        return zlib.crc32(self.name.encode())
+
+
+def _array_decls() -> str:
+    lines = []
+    for a in range(N_ARRAYS):
+        init = ", ".join(f"{(i * 7 + a * 3) % 17 * 0.25 + 0.5:.2f}"
+                         for i in range(ARRAY_LEN))
+        lines.append(f"global D{a}: float[{ARRAY_LEN}] = {{{init}}}")
+    lines.append(f"global OUT: float[{N_ARRAYS}]")
+    return "\n".join(lines)
+
+
+def _helper_functions(profile: RoutineProfile) -> str:
+    """Small callees for call-bearing routines; 'chain' nests two deep."""
+    if profile.calls == "none":
+        return ""
+    leaf = """
+func h_leaf(x: float, k: int): float {
+  var s: float = x
+  var j: int = 0
+  while (j < 3) {
+    s = s + D0[(k + j) % %LEN%] * 0.125
+    j = j + 1
+  }
+  return s
+}
+""".replace("%LEN%", str(ARRAY_LEN))
+    if profile.calls == "leaf":
+        return leaf
+    chain = leaf + """
+func h_mid(x: float, k: int): float {
+  var a: float = h_leaf(x, k)
+  var b: float = h_leaf(x * 0.5, k + 1)
+  return a + b
+}
+"""
+    return chain
+
+
+def generate_kernel_source(profile: RoutineProfile) -> str:
+    """MFL source for the routine's function alone (no globals/driver)."""
+    rng = random.Random(profile.seed)
+    return _KernelEmitter(profile, rng).emit()
+
+
+def generate_routine_source(profile: RoutineProfile) -> str:
+    """MFL source for the routine plus a ``main`` driver."""
+    body = generate_kernel_source(profile)
+    helpers = _helper_functions(profile)
+    driver = f"""
+func main(): float {{
+  var r: float = {profile.name}({profile.iters})
+  OUT[0] = r
+  return r
+}}
+"""
+    return f"{_array_decls()}\n{helpers}\n{body}\n{driver}"
+
+
+def generate_program_source(profiles: List[RoutineProfile],
+                            iters_scale: float = 0.5) -> str:
+    """MFL source for a whole program calling several routines in turn
+    (the units of Figures 3 and 4)."""
+    calls = max((p.calls for p in profiles),
+                key=lambda c: ("none", "leaf", "chain").index(c))
+    helper_profile = RoutineProfile(name="_prog", calls=calls)
+    parts = [_array_decls(), _helper_functions(helper_profile)]
+    body_lines = ["func main(): float {", "  var total: float = 0.0"]
+    for profile in profiles:
+        parts.append(generate_kernel_source(profile))
+        iters = max(2, int(profile.iters * iters_scale))
+        body_lines.append(f"  total = total + {profile.name}({iters}) * 0.125")
+    body_lines += ["  OUT[0] = total", "  return total", "}"]
+    parts.append("\n".join(body_lines))
+    return "\n".join(parts)
+
+
+class _KernelEmitter:
+    def __init__(self, profile: RoutineProfile, rng: random.Random):
+        self.p = profile
+        self.rng = rng
+        self.lines: List[str] = []
+        self.indent = 1
+
+    def line(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def emit(self) -> str:
+        p = self.p
+        self.lines = [f"func {p.name}(n: int): float {{"]
+        self.line("var acc: float = 0.0")
+
+        # held values: loaded once, used in every iteration
+        for h in range(p.held):
+            array = self.rng.randrange(N_ARRAYS)
+            index = self.rng.randrange(ARRAY_LEN)
+            self.line(f"var g{h}: float = D{array}[{index}]")
+
+        loop_vars = [f"i{d}" for d in range(p.depth)]
+        for var in loop_vars:
+            self.line(f"var {var}: int = 0")
+        trip = self._trips()
+        for level, var in enumerate(loop_vars):
+            bound = "n" if level == p.depth - 1 else str(trip[level])
+            self.line(f"for ({var} = 0; {var} < {bound}; {var} = {var} + 1) {{")
+            self.indent += 1
+
+        for u in range(p.unroll):
+            self._emit_iteration(loop_vars, u)
+
+        for _ in loop_vars:
+            self.indent -= 1
+            self.line("}")
+        if p.held:
+            # final combine keeps every held value live across the whole
+            # loop nest (otherwise DCE would delete the unsampled ones)
+            tail = " + ".join(f"g{h} * 0.0078125" for h in range(p.held))
+            self.line(f"acc = acc + {tail}")
+        self.line("return acc")
+        self.lines.append("}")
+        return "\n".join(self.lines)
+
+    def _trips(self) -> List[int]:
+        """Outer trip counts; innermost uses the n parameter."""
+        if self.p.depth == 1:
+            return []
+        outer = [2] * (self.p.depth - 1)
+        return outer
+
+    def _emit_iteration(self, loop_vars: List[str], u: int) -> None:
+        p, rng = self.p, self.rng
+        ivar = loop_vars[-1]
+        for s in range(p.stages):
+            names: List[str] = []
+            # int index temps (pressure in the integer file)
+            idx_names = []
+            for k in range(p.int_width):
+                nm = f"x{u}_{s}_{k}"
+                c = rng.randrange(1, 7)
+                d = rng.randrange(ARRAY_LEN)
+                self.line(f"var {nm}: int = ({ivar} * {c} + {d}) % {ARRAY_LEN}")
+                idx_names.append(nm)
+            # float temps
+            for k in range(p.width):
+                nm = f"t{u}_{s}_{k}"
+                array = rng.randrange(N_ARRAYS)
+                if idx_names and rng.random() < 0.7:
+                    idx = rng.choice(idx_names)
+                    self.line(f"var {nm}: float = D{array}[{idx}]")
+                else:
+                    off = rng.randrange(ARRAY_LEN)
+                    self.line(f"var {nm}: float = D{array}"
+                              f"[({ivar} + {off}) % {ARRAY_LEN}]")
+                names.append(nm)
+            if p.calls != "none" and s == 0:
+                callee = "h_mid" if p.calls == "chain" else "h_leaf"
+                # acc and every stage temp stay live across the call
+                self.line(f"acc = {callee}(acc * 0.0009765625, {ivar})")
+            # combine in a shuffled order so the temps stay live until here
+            order = list(range(p.width))
+            rng.shuffle(order)
+            terms = []
+            pos = 0
+            while pos < len(order):
+                if pos + 1 < len(order) and rng.random() < 0.4:
+                    terms.append(f"t{u}_{s}_{order[pos]} * "
+                                 f"t{u}_{s}_{order[pos + 1]} * 0.001953125")
+                    pos += 2
+                else:
+                    terms.append(f"t{u}_{s}_{order[pos]} * 0.03125")
+                    pos += 1
+            expr = " + ".join(terms)
+            held_use = ""
+            if p.held:
+                picks = sorted(rng.sample(range(p.held),
+                                          k=min(4, p.held)))
+                held_use = "".join(f" + g{g} * 0.0625" for g in picks)
+            self.line(f"acc = acc * 0.5 + {expr}{held_use}")

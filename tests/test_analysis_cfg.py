@@ -1,0 +1,145 @@
+"""CFG utilities: edges, traversal orders, unreachable code, edge splitting."""
+
+from repro.analysis import CFG, remove_unreachable_blocks, split_critical_edges
+from repro.ir import (Function, Instruction, Opcode, RegClass, VirtualReg,
+                      parse_function, verify_function)
+
+
+def _diamond() -> Function:
+    return parse_function("""
+.func f(%v0)
+entry:
+    cbr %v0 -> left, right
+left:
+    jump -> join
+right:
+    jump -> join
+join:
+    ret
+.endfunc
+""")
+
+
+def _loop() -> Function:
+    return parse_function("""
+.func f(%v0)
+entry:
+    jump -> head
+head:
+    cbr %v0 -> body, exit
+body:
+    jump -> head
+exit:
+    ret
+.endfunc
+""")
+
+
+class TestEdges:
+    def test_diamond_succs(self):
+        cfg = CFG(_diamond())
+        assert set(cfg.succs["entry"]) == {"left", "right"}
+        assert cfg.succs["join"] == []
+
+    def test_diamond_preds(self):
+        cfg = CFG(_diamond())
+        assert set(cfg.preds["join"]) == {"left", "right"}
+        assert cfg.preds["entry"] == []
+
+    def test_loop_back_edge(self):
+        cfg = CFG(_loop())
+        assert "head" in cfg.succs["body"]
+        assert "body" in cfg.preds["head"]
+
+
+class TestOrders:
+    def test_postorder_ends_at_entry(self):
+        cfg = CFG(_diamond())
+        assert cfg.postorder()[-1] == "entry"
+
+    def test_reverse_postorder_topological_on_dag(self):
+        rpo = CFG(_diamond()).reverse_postorder()
+        assert rpo.index("entry") < rpo.index("left")
+        assert rpo.index("entry") < rpo.index("right")
+        assert rpo.index("left") < rpo.index("join")
+        assert rpo.index("right") < rpo.index("join")
+
+    def test_postorder_covers_only_reachable(self):
+        fn = _diamond()
+        orphan = fn.new_block("orphan")
+        orphan.append(Instruction(Opcode.RET))
+        assert "orphan" not in set(CFG(fn).postorder())
+
+
+class TestUnreachableRemoval:
+    def test_removes_orphan(self):
+        fn = _diamond()
+        orphan = fn.new_block("orphan")
+        orphan.append(Instruction(Opcode.RET))
+        assert remove_unreachable_blocks(fn) == 1
+        assert not fn.has_block("orphan")
+
+    def test_keeps_reachable(self):
+        fn = _loop()
+        assert remove_unreachable_blocks(fn) == 0
+        assert len(fn.blocks) == 4
+
+    def test_prunes_phi_inputs_of_dead_preds(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    jump -> join
+dead:
+    jump -> join
+join:
+    phi [%v0, entry], [%v0, dead] => %v1
+    ret %v1
+.endfunc
+""")
+        remove_unreachable_blocks(fn)
+        phi = fn.block("join").phis()[0]
+        assert phi.phi_labels == ["entry"]
+        assert len(phi.srcs) == 1
+
+
+class TestCriticalEdges:
+    def test_splits_branch_into_join(self):
+        # entry -> {left, join}; left -> join: edge entry->join is critical
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    cbr %v0 -> left, join
+left:
+    jump -> join
+join:
+    ret
+.endfunc
+""")
+        assert split_critical_edges(fn) == 1
+        verify_function(fn)
+        cfg = CFG(fn)
+        # entry no longer branches straight to join
+        assert "join" not in cfg.succs["entry"]
+
+    def test_no_split_needed(self):
+        fn = _diamond()
+        assert split_critical_edges(fn) == 0
+
+    def test_phi_labels_redirected(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    cbr %v0 -> left, join
+left:
+    jump -> join
+join:
+    phi [%v0, entry], [%v0, left] => %v1
+    ret %v1
+.endfunc
+""")
+        split_critical_edges(fn)
+        phi = fn.block("join").phis()[0]
+        assert "entry" not in phi.phi_labels
+        cfg = CFG(fn)
+        for label in phi.phi_labels:
+            assert label in cfg.preds["join"]

@@ -1,0 +1,63 @@
+"""Def-use index tests."""
+
+from repro.analysis import DefUse
+from repro.ir import RegClass, VirtualReg, parse_function
+
+
+def _v(i, rc=RegClass.INT):
+    return VirtualReg(i, rc)
+
+
+FN = parse_function("""
+.func f(%v0)
+entry:
+    loadI 1 => %v1
+    add %v0, %v1 => %v2
+    add %v2, %v1 => %v3
+    cbr %v3 -> a, b
+a:
+    addI %v2, 1 => %v2
+    jump -> b
+b:
+    ret %v2
+.endfunc
+""")
+
+
+class TestDefUse:
+    def setup_method(self):
+        self.du = DefUse(FN)
+
+    def test_defs_indexed(self):
+        assert self.du.defs[_v(1)] == [("entry", 0)]
+        assert len(self.du.defs[_v(2)]) == 2  # entry and block a
+
+    def test_uses_indexed(self):
+        assert ("entry", 1) in self.du.uses[_v(1)]
+        assert ("entry", 2) in self.du.uses[_v(1)]
+        assert ("b", 0) in self.du.uses[_v(2)]
+
+    def test_single_def_requires_uniqueness(self):
+        assert self.du.single_def(_v(1)) == ("entry", 0)
+        assert self.du.single_def(_v(2)) is None  # two defs
+
+    def test_instruction_at(self):
+        instr = self.du.instruction_at(("entry", 1))
+        assert _v(2) in instr.dsts
+
+    def test_is_dead(self):
+        fn = parse_function("""
+.func g()
+entry:
+    loadI 1 => %v0
+    loadI 2 => %v1
+    ret %v1
+.endfunc
+""")
+        du = DefUse(fn)
+        assert du.is_dead(_v(0))
+        assert not du.is_dead(_v(1))
+
+    def test_params_have_no_def_sites(self):
+        assert self.du.defs.get(_v(0), []) == []
+        assert self.du.uses[_v(0)]

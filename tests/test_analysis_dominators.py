@@ -1,0 +1,151 @@
+"""Dominator tree and dominance frontier tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import CFG, DominatorTree
+from repro.ir import Function, Instruction, Opcode, parse_function
+
+
+def _diamond():
+    return parse_function("""
+.func f(%v0)
+entry:
+    cbr %v0 -> left, right
+left:
+    jump -> join
+right:
+    jump -> join
+join:
+    ret
+.endfunc
+""")
+
+
+def _nested_loop():
+    return parse_function("""
+.func f(%v0)
+entry:
+    jump -> outer
+outer:
+    cbr %v0 -> inner, exit
+inner:
+    cbr %v0 -> inner, latch
+latch:
+    jump -> outer
+exit:
+    ret
+.endfunc
+""")
+
+
+class TestIdom:
+    def test_entry_has_no_idom(self):
+        dom = DominatorTree(CFG(_diamond()))
+        assert dom.idom["entry"] is None
+
+    def test_diamond_idoms(self):
+        dom = DominatorTree(CFG(_diamond()))
+        assert dom.idom["left"] == "entry"
+        assert dom.idom["right"] == "entry"
+        assert dom.idom["join"] == "entry"
+
+    def test_loop_idoms(self):
+        dom = DominatorTree(CFG(_nested_loop()))
+        assert dom.idom["outer"] == "entry"
+        assert dom.idom["inner"] == "outer"
+        assert dom.idom["latch"] == "inner"
+        assert dom.idom["exit"] == "outer"
+
+
+class TestDominates:
+    def test_reflexive(self):
+        dom = DominatorTree(CFG(_diamond()))
+        for label in ("entry", "left", "right", "join"):
+            assert dom.dominates(label, label)
+
+    def test_entry_dominates_all(self):
+        dom = DominatorTree(CFG(_nested_loop()))
+        for label in dom.idom:
+            assert dom.dominates("entry", label)
+
+    def test_branch_arm_does_not_dominate_join(self):
+        dom = DominatorTree(CFG(_diamond()))
+        assert not dom.dominates("left", "join")
+        assert not dom.dominates("right", "join")
+
+
+class TestFrontiers:
+    def test_diamond_frontier(self):
+        dom = DominatorTree(CFG(_diamond()))
+        assert dom.frontier["left"] == {"join"}
+        assert dom.frontier["right"] == {"join"}
+        assert dom.frontier["entry"] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        dom = DominatorTree(CFG(_nested_loop()))
+        # the latch's frontier contains the outer header; the inner
+        # header is in its own frontier via its self loop
+        assert "inner" in dom.frontier["inner"]
+        assert "outer" in dom.frontier["latch"]
+
+
+class TestDomTreeOrder:
+    def test_preorder_parents_first(self):
+        dom = DominatorTree(CFG(_nested_loop()))
+        order = dom.dom_tree_preorder()
+        for label, parent in dom.idom.items():
+            if parent is not None:
+                assert order.index(parent) < order.index(label)
+
+    def test_preorder_complete(self):
+        dom = DominatorTree(CFG(_nested_loop()))
+        assert set(dom.dom_tree_preorder()) == set(dom.idom)
+
+
+# -- property: random CFGs satisfy dominator laws -------------------------------
+
+@st.composite
+def random_cfgs(draw):
+    from repro.ir import BasicBlock, RegClass
+
+    n = draw(st.integers(2, 10))
+    labels = [f"B{i}" for i in range(n)]
+    fn = Function("f")
+    for label in labels:
+        fn.add_block(BasicBlock(label))
+    for i, label in enumerate(labels):
+        block = fn.block(label)
+        kind = draw(st.integers(0, 2))
+        if kind == 0 or i == n - 1:
+            block.append(Instruction(Opcode.RET))
+        elif kind == 1:
+            target = labels[draw(st.integers(0, n - 1))]
+            block.append(Instruction(Opcode.JUMP, labels=[target]))
+        else:
+            a = labels[draw(st.integers(0, n - 1))]
+            b = labels[draw(st.integers(0, n - 1))]
+            cond = fn.new_vreg(RegClass.INT)
+            block.append(Instruction(Opcode.CBR, [], [cond], labels=[a, b]))
+    return fn
+
+
+class TestDominatorProperties:
+    @given(random_cfgs())
+    @settings(max_examples=100)
+    def test_idom_strictly_dominates(self, fn):
+        cfg = CFG(fn)
+        dom = DominatorTree(cfg)
+        for label, parent in dom.idom.items():
+            if parent is not None:
+                assert dom.dominates(parent, label)
+                assert parent != label
+
+    @given(random_cfgs())
+    @settings(max_examples=100)
+    def test_frontier_nodes_not_strictly_dominated(self, fn):
+        dom = DominatorTree(CFG(fn))
+        for label, frontier in dom.frontier.items():
+            for f in frontier:
+                # label dominates a predecessor of f but not f strictly
+                assert not (dom.dominates(label, f) and label != f) or \
+                    label == f

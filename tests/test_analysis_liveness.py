@@ -1,0 +1,154 @@
+"""Liveness analysis tests, including phi and call-crossing semantics."""
+
+from repro.analysis import CFG, compute_liveness, values_live_across_calls
+from repro.ir import RegClass, VirtualReg, parse_function
+
+
+def _v(i, rc=RegClass.INT):
+    return VirtualReg(i, rc)
+
+
+class TestStraightLine:
+    def test_def_kills_liveness(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    loadI 2 => %v0
+    ret %v0
+.endfunc
+""")
+        live = compute_liveness(fn)
+        assert live.live_in["entry"] == set()
+
+    def test_use_before_def_is_live_in(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    addI %v0, 1 => %v1
+    ret %v1
+.endfunc
+""")
+        live = compute_liveness(fn)
+        assert _v(0) in live.live_in["entry"]
+        assert _v(1) not in live.live_in["entry"]
+
+
+class TestAcrossBlocks:
+    def test_loop_carried_value_live_at_head(self):
+        fn = parse_function("""
+.func f(%v0, %v1)
+entry:
+    jump -> head
+head:
+    cbr %v1 -> body, exit
+body:
+    addI %v0, 1 => %v0
+    jump -> head
+exit:
+    ret %v0
+.endfunc
+""")
+        live = compute_liveness(fn)
+        assert _v(0) in live.live_in["head"]
+        assert _v(0) in live.live_out["body"]
+
+    def test_branch_only_one_side_uses(self):
+        fn = parse_function("""
+.func f(%v0, %v1)
+entry:
+    cbr %v0 -> uses, skips
+uses:
+    ret %v1
+skips:
+    ret
+.endfunc
+""")
+        live = compute_liveness(fn)
+        assert _v(1) in live.live_in["entry"]
+        assert _v(1) in live.live_in["uses"]
+        assert _v(1) not in live.live_in["skips"]
+
+
+class TestPhiSemantics:
+    def test_phi_source_live_out_of_pred_only(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    cbr %v0 -> a, b
+a:
+    loadI 1 => %v1
+    jump -> join
+b:
+    loadI 2 => %v2
+    jump -> join
+join:
+    phi [%v1, a], [%v2, b] => %v3
+    ret %v3
+.endfunc
+""")
+        live = compute_liveness(fn)
+        assert _v(1) in live.live_out["a"]
+        assert _v(1) not in live.live_out["b"]
+        assert _v(2) in live.live_out["b"]
+        # the phi def is not live into the join from outside
+        assert _v(3) not in live.live_in["join"]
+
+
+class TestInstructionWalk:
+    def test_live_after_shrinks_backward(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    loadI 2 => %v1
+    add %v0, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+        live = compute_liveness(fn)
+        walk = dict()
+        for idx, instr, after in live.live_across_instructions("entry"):
+            walk[idx] = after
+        assert walk[3] == set()             # after ret
+        assert walk[2] == {_v(2)}           # after add
+        assert walk[1] == {_v(0), _v(1)}    # after second loadI
+
+
+class TestLiveAcrossCalls:
+    def test_detects_call_crossing_value(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    loadI 7 => %v1
+    call g() => %v2
+    add %v1, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        crossing = values_live_across_calls(fn)
+        assert _v(1) in crossing
+        assert _v(3) not in crossing
+
+    def test_value_dead_before_call_not_included(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 7 => %v1
+    addI %v1, 1 => %v2
+    call g() => %v3
+    ret %v3
+.endfunc
+""")
+        crossing = values_live_across_calls(fn)
+        assert _v(1) not in crossing
+        assert _v(2) not in crossing
+
+    def test_no_calls_empty(self):
+        fn = parse_function("""
+.func f()
+entry:
+    ret
+.endfunc
+""")
+        assert values_live_across_calls(fn) == set()

@@ -1,0 +1,131 @@
+"""Loop detection, nesting depth, call graph, and SCC tests."""
+
+from repro.analysis import CallGraph, LoopInfo
+from repro.ir import (Function, Instruction, Opcode, Program, parse_function,
+                      parse_program)
+
+
+class TestLoops:
+    def test_single_loop(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    jump -> head
+head:
+    cbr %v0 -> body, exit
+body:
+    jump -> head
+exit:
+    ret
+.endfunc
+""")
+        loops = LoopInfo(fn)
+        assert len(loops.loops) == 1
+        assert loops.loops[0].header == "head"
+        assert loops.block_depth("body") == 1
+        assert loops.block_depth("entry") == 0
+        assert loops.block_depth("exit") == 0
+
+    def test_nested_depth_two(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    jump -> outer
+outer:
+    cbr %v0 -> ihead, exit
+ihead:
+    cbr %v0 -> ibody, latch
+ibody:
+    jump -> ihead
+latch:
+    jump -> outer
+exit:
+    ret
+.endfunc
+""")
+        loops = LoopInfo(fn)
+        assert loops.block_depth("ibody") == 2
+        assert loops.block_depth("ihead") == 2
+        assert loops.block_depth("outer") == 1
+        assert loops.block_depth("exit") == 0
+
+    def test_frequency_scales_with_depth(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    jump -> head
+head:
+    cbr %v0 -> body, exit
+body:
+    jump -> head
+exit:
+    ret
+.endfunc
+""")
+        loops = LoopInfo(fn)
+        assert loops.block_frequency("body") == 10.0
+        assert loops.block_frequency("entry") == 1.0
+
+    def test_no_loops(self):
+        fn = parse_function("""
+.func f()
+entry:
+    ret
+.endfunc
+""")
+        assert LoopInfo(fn).loops == []
+
+
+def _program_with_calls(edges) -> Program:
+    """Build a program where each (caller, callee) pair is a call."""
+    names = {n for pair in edges for n in pair}
+    text = [".program g"]
+    for name in sorted(names):
+        callees = [b for a, b in edges if a == name]
+        lines = [f".func {name}()", "entry:"]
+        for callee in callees:
+            lines.append(f"    call {callee}()")
+        lines += ["    ret", ".endfunc"]
+        text.append("\n".join(lines))
+    return parse_program("\n".join(text))
+
+
+class TestCallGraph:
+    def test_edges(self):
+        prog = _program_with_calls([("a", "b"), ("b", "c")])
+        graph = CallGraph(prog)
+        assert graph.callees["a"] == {"b"}
+        assert graph.callers["c"] == {"b"}
+
+    def test_bottom_up_order(self):
+        prog = _program_with_calls([("a", "b"), ("b", "c"), ("a", "c")])
+        order = CallGraph(prog).bottom_up_order()
+        assert order.index("c") < order.index("b") < order.index("a")
+
+    def test_no_recursion_detected_on_dag(self):
+        prog = _program_with_calls([("a", "b"), ("b", "c")])
+        assert CallGraph(prog).recursive_functions() == set()
+
+    def test_self_recursion(self):
+        prog = _program_with_calls([("a", "a")])
+        assert CallGraph(prog).recursive_functions() == {"a"}
+
+    def test_mutual_recursion(self):
+        prog = _program_with_calls([("a", "b"), ("b", "a"), ("a", "c")])
+        graph = CallGraph(prog)
+        assert graph.recursive_functions() == {"a", "b"}
+        order = graph.bottom_up_order()
+        assert order.index("c") < order.index("a")
+        assert order.index("c") < order.index("b")
+
+    def test_sccs_group_cycles(self):
+        prog = _program_with_calls([("a", "b"), ("b", "a")])
+        sccs = CallGraph(prog).sccs()
+        cycle = [c for c in sccs if len(c) > 1]
+        assert len(cycle) == 1 and set(cycle[0]) == {"a", "b"}
+
+    def test_call_sites_recorded(self):
+        prog = _program_with_calls([("a", "b"), ("a", "b")])
+        graph = CallGraph(prog)
+        # both call instructions recorded
+        assert len(graph.call_sites["a"]) == 2

@@ -1,0 +1,111 @@
+"""IRBuilder convenience API and machine-target configuration tests."""
+
+import pytest
+
+from repro.ir import (Function, IRBuilder, Opcode, Program, RegClass,
+                      verify_function)
+from repro.machine import MachineConfig, PAPER_MACHINE_1024, PAPER_MACHINE_512
+
+
+class TestBuilder:
+    def _builder(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        b.new_block("entry")
+        return fn, b
+
+    def test_emit_without_block_raises(self):
+        b = IRBuilder(Function("f"))
+        with pytest.raises(RuntimeError, match="no insertion block"):
+            b.loadi(1)
+
+    def test_fresh_registers_have_right_class(self):
+        _, b = self._builder()
+        assert b.ireg().rclass is RegClass.INT
+        assert b.freg().rclass is RegClass.FLOAT
+
+    def test_arithmetic_helpers_produce_valid_ir(self):
+        fn, b = self._builder()
+        x = b.loadi(2)
+        y = b.loadi(3)
+        z = b.add(x, y)
+        w = b.mult(z, b.subi(x, 1))
+        f = b.i2f(w)
+        g = b.fadd(f, b.loadfi(0.5))
+        b.ret(g)
+        verify_function(fn)
+
+    def test_memory_helpers(self):
+        fn, b = self._builder()
+        prog = Program()
+        addr = b.loadi(0x1000)
+        v = b.load(addr)
+        b.store(v, addr)
+        v2 = b.loadai(addr, 8)
+        b.storeai(v2, addr, 16)
+        fv = b.fload(addr)
+        b.fstoreai(fv, addr, 24)
+        b.ret()
+        verify_function(fn)
+
+    def test_control_flow_helpers(self):
+        fn, b = self._builder()
+        cond = b.loadi(1)
+        then_block = fn.new_block("then")
+        else_block = fn.new_block("else")
+        b.cbr(cond, then_block.label, else_block.label)
+        b.position_at(then_block)
+        b.ret()
+        b.position_at(else_block)
+        b.ret()
+        verify_function(fn)
+
+    def test_call_void_returns_none(self):
+        _, b = self._builder()
+        assert b.call("g", []) is None
+
+    def test_call_with_return_class(self):
+        _, b = self._builder()
+        result = b.call("g", [], ret_class=RegClass.FLOAT)
+        assert result.rclass is RegClass.FLOAT
+
+
+class TestMachineConfig:
+    def test_paper_machines_differ_only_in_ccm(self):
+        assert PAPER_MACHINE_512.ccm_bytes == 512
+        assert PAPER_MACHINE_1024.ccm_bytes == 1024
+        assert PAPER_MACHINE_512.n_int_regs == PAPER_MACHINE_1024.n_int_regs
+
+    def test_paper_machine_is_the_papers(self):
+        machine = PAPER_MACHINE_512
+        assert machine.n_int_regs == 32
+        assert machine.n_float_regs == 32
+        assert machine.memory_latency == 2
+        assert machine.ccm_latency == 1
+        assert machine.default_latency == 1
+
+    def test_convention_partitions(self):
+        machine = MachineConfig()
+        for rclass in (RegClass.INT, RegClass.FLOAT):
+            caller = set(machine.caller_saved(rclass))
+            callee = set(machine.callee_saved(rclass))
+            assert not (caller & callee)
+            assert len(caller) + len(callee) == machine.n_regs(rclass)
+            assert machine.return_reg(rclass) in caller
+            assert set(machine.arg_regs(rclass)) <= caller
+
+    def test_arg_registers_distinct(self):
+        machine = MachineConfig()
+        args = machine.arg_regs(RegClass.INT)
+        assert len(set(args)) == machine.n_args
+        assert machine.return_reg(RegClass.INT) not in args
+
+    def test_custom_register_counts(self):
+        machine = MachineConfig(n_int_regs=8, n_float_regs=4)
+        assert machine.n_regs(RegClass.INT) == 8
+        assert machine.n_regs(RegClass.FLOAT) == 4
+        assert len(machine.allocatable(RegClass.FLOAT)) == 4
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MachineConfig().ccm_bytes = 9

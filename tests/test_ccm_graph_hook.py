@@ -1,0 +1,160 @@
+"""Unit tests for the integrated allocator's graph hook: CCM locations
+as pseudo-nodes with the liveness-derived edges of section 3.2."""
+
+import pytest
+
+from repro.ccm import CcmGraphHook, CcmLocation
+from repro.ir import RegClass, VirtualReg, parse_function
+from repro.machine import PAPER_MACHINE_512
+from repro.regalloc import build_interference_graph
+from repro.regalloc.interference import PseudoNode
+
+
+def _v(i, rc=RegClass.INT):
+    return VirtualReg(i, rc)
+
+
+def _graph(text):
+    fn = parse_function(text)
+    return build_interference_graph(fn, PAPER_MACHINE_512, CcmGraphHook())
+
+
+class TestPseudoEdges:
+    def test_register_live_across_ccm_span_gets_edge(self):
+        graph = _graph("""
+.func f()
+entry:
+    loadI 7 => %v0
+    loadI 1 => %v1
+    ccmst %v1 => [0]
+    ccmld [0] => %v2
+    add %v0, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        loc = CcmLocation(0, 4)
+        # %v0 is live at the ccm store -> edge to the location
+        assert loc in graph.neighbors(_v(0))
+
+    def test_register_defined_inside_span_gets_edge(self):
+        graph = _graph("""
+.func f()
+entry:
+    loadI 1 => %v1
+    ccmst %v1 => [0]
+    loadI 7 => %v0
+    ccmld [0] => %v2
+    add %v0, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        assert CcmLocation(0, 4) in graph.neighbors(_v(0))
+
+    def test_register_outside_span_has_no_edge(self):
+        graph = _graph("""
+.func f()
+entry:
+    loadI 1 => %v1
+    ccmst %v1 => [0]
+    ccmld [0] => %v2
+    loadI 7 => %v0
+    add %v0, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        assert CcmLocation(0, 4) not in graph.neighbors(_v(0))
+
+    def test_span_crosses_blocks(self):
+        graph = _graph("""
+.func f(%v9)
+entry:
+    loadI 7 => %v0
+    loadI 1 => %v1
+    ccmst %v1 => [8]
+    cbr %v9 -> a, b
+a:
+    jump -> b
+b:
+    ccmld [8] => %v2
+    add %v0, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        loc = CcmLocation(8, 4)
+        assert loc in graph.neighbors(_v(0))
+
+    def test_cross_class_edges_exist(self):
+        """A float register overlapping an int CCM location conflicts
+        (byte ranges are class-agnostic) — the bug class behind the
+        twldrv miscompilation found during development."""
+        graph = _graph("""
+.func f()
+entry:
+    loadFI 1.0 => %w0
+    loadI 1 => %v1
+    ccmst %v1 => [0]
+    ccmld [0] => %v2
+    fadd %w0, %w0 => %w1
+    add %v2, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        assert CcmLocation(0, 4) in graph.neighbors(_v(0, RegClass.FLOAT))
+
+
+class TestPseudoInvisibility:
+    def test_pseudo_nodes_are_marked(self):
+        assert isinstance(CcmLocation(0, 4), PseudoNode)
+
+    def test_locations_identified_by_range(self):
+        graph = _graph("""
+.func f()
+entry:
+    loadI 1 => %v1
+    ccmst %v1 => [0]
+    ccmld [0] => %v2
+    loadI 2 => %v3
+    ccmst %v3 => [0]
+    ccmld [0] => %v4
+    add %v2, %v4 => %v5
+    ret %v5
+.endfunc
+""")
+        locations = [n for n in graph.nodes()
+                     if isinstance(n, CcmLocation)]
+        # both spans use the same byte range -> one pseudo node
+        assert locations == [CcmLocation(0, 4)]
+
+    def test_different_sizes_distinct_nodes(self):
+        # %v0 is live across both spans, so both locations get edges
+        graph = _graph("""
+.func f()
+entry:
+    loadI 9 => %v0
+    loadI 1 => %v1
+    ccmst %v1 => [0]
+    ccmld [0] => %v2
+    loadFI 1.0 => %w0
+    fccmst %w0 => [8]
+    fccmld [8] => %w1
+    fadd %w1, %w1 => %w2
+    add %v2, %v0 => %v3
+    ret %v3
+.endfunc
+""")
+        locations = {n for n in graph.nodes() if isinstance(n, CcmLocation)}
+        assert locations == {CcmLocation(0, 4), CcmLocation(8, 8)}
+
+    def test_edge_free_location_stays_out_of_graph(self):
+        """A CCM span overlapping nothing constrains nobody, so the
+        hook adds no node for it — by design."""
+        graph = _graph("""
+.func f()
+entry:
+    loadI 1 => %v1
+    ccmst %v1 => [0]
+    ccmld [0] => %v2
+    ret %v2
+.endfunc
+""")
+        assert CcmLocation(0, 4) not in graph.nodes()

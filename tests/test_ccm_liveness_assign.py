@@ -1,0 +1,182 @@
+"""Web liveness/interference and first-fit offset assignment tests."""
+
+import pytest
+
+from repro.ccm import analyze_webs, assign_webs, find_spill_webs, first_fit_offset
+from repro.ccm.slots import SpillWeb
+from repro.ccm.mem_liveness import WebInterference
+from repro.ir import RegClass, parse_function
+
+
+def _webs_and_interference(text):
+    fn = parse_function(text)
+    webs = find_spill_webs(fn)
+    return webs, analyze_webs(fn, webs)
+
+
+class TestInterference:
+    def test_overlapping_webs_interfere(self):
+        webs, inter = _webs_and_interference("""
+.func f()
+entry:
+    loadI 1 => %v0
+    loadI 2 => %v1
+    spill %v0 => [0]
+    spill %v1 => [4]
+    reload [0] => %v2
+    reload [4] => %v3
+    add %v2, %v3 => %v4
+    ret %v4
+.endfunc
+""")
+        assert len(webs) == 2
+        assert inter.interferes(webs[0].web_id, webs[1].web_id)
+
+    def test_sequential_webs_do_not_interfere(self):
+        webs, inter = _webs_and_interference("""
+.func f()
+entry:
+    loadI 1 => %v0
+    spill %v0 => [0]
+    reload [0] => %v1
+    loadI 2 => %v2
+    spill %v2 => [4]
+    reload [4] => %v3
+    add %v1, %v3 => %v4
+    ret %v4
+.endfunc
+""")
+        assert len(webs) == 2
+        assert not inter.interferes(webs[0].web_id, webs[1].web_id)
+
+    def test_live_across_call_detected(self):
+        webs, inter = _webs_and_interference("""
+.func f()
+entry:
+    loadI 1 => %v0
+    spill %v0 => [0]
+    call g()
+    reload [0] => %v1
+    ret %v1
+.endfunc
+""")
+        assert webs[0].web_id in inter.live_across_call
+        assert len(inter.calls_crossed) == 1
+        (callee, crossed), = inter.calls_crossed.values()
+        assert callee == "g"
+        assert webs[0].web_id in crossed
+
+    def test_web_dead_during_call_not_crossed(self):
+        webs, inter = _webs_and_interference("""
+.func f()
+entry:
+    loadI 1 => %v0
+    spill %v0 => [0]
+    reload [0] => %v1
+    call g()
+    addI %v1, 1 => %v2
+    ret %v2
+.endfunc
+""")
+        assert inter.live_across_call == set()
+
+    def test_costs_weighted_by_loop_depth(self):
+        webs, inter = _webs_and_interference("""
+.func f(%v0)
+entry:
+    loadI 1 => %v1
+    spill %v1 => [0]
+    jump -> head
+head:
+    reload [0] => %v2
+    cbr %v0 -> head, exit
+exit:
+    ret %v2
+.endfunc
+""")
+        # store at depth 0 (1.0) + load at depth 1 (10.0)
+        assert inter.costs[webs[0].web_id] == pytest.approx(11.0)
+
+
+def _mk_web(web_id, rclass=RegClass.INT):
+    return SpillWeb(web_id, 0, rclass)
+
+
+class TestFirstFit:
+    def test_empty_starts_at_zero(self):
+        web = _mk_web(0)
+        assert first_fit_offset(web, [], capacity=64) == 0
+
+    def test_skips_blocked_interval(self):
+        web = _mk_web(0)
+        assert first_fit_offset(web, [(0, 4)], capacity=64) == 4
+
+    def test_fills_gap(self):
+        web = _mk_web(0)
+        assert first_fit_offset(web, [(0, 4), (8, 4)], capacity=64) == 4
+
+    def test_float_alignment(self):
+        web = _mk_web(0, RegClass.FLOAT)
+        assert first_fit_offset(web, [(0, 4)], capacity=64) == 8
+
+    def test_capacity_respected(self):
+        web = _mk_web(0, RegClass.FLOAT)
+        assert first_fit_offset(web, [(0, 60)], capacity=64) is None
+
+    def test_min_start(self):
+        web = _mk_web(0)
+        assert first_fit_offset(web, [], capacity=64, min_start=17) == 20
+
+    def test_unbounded_capacity(self):
+        web = _mk_web(0)
+        assert first_fit_offset(web, [(0, 1000)], capacity=None) == 1000
+
+
+class TestAssignWebs:
+    def _interference(self, webs, edges, costs=None):
+        inter = WebInterference(webs)
+        for a, b in edges:
+            inter.add_edge(a, b)
+        for web in webs:
+            inter.costs[web.web_id] = (costs or {}).get(web.web_id, 1.0)
+        return inter
+
+    def test_non_interfering_share_offset(self):
+        webs = [_mk_web(0), _mk_web(1)]
+        inter = self._interference(webs, [])
+        placed = assign_webs(webs, inter, capacity=64)
+        assert placed[0] == placed[1] == 0
+
+    def test_interfering_separated(self):
+        webs = [_mk_web(0), _mk_web(1)]
+        inter = self._interference(webs, [(0, 1)])
+        placed = assign_webs(webs, inter, capacity=64)
+        assert placed[0] != placed[1]
+
+    def test_capacity_drops_cheapest(self):
+        webs = [_mk_web(0, RegClass.FLOAT), _mk_web(1, RegClass.FLOAT)]
+        inter = self._interference(webs, [(0, 1)],
+                                   costs={0: 100.0, 1: 1.0})
+        placed = assign_webs(webs, inter, capacity=8)
+        assert placed == {0: 0}  # the expensive web wins the only slot
+
+    def test_min_start_respected(self):
+        webs = [_mk_web(0)]
+        inter = self._interference(webs, [])
+        placed = assign_webs(webs, inter, capacity=64, min_start={0: 32})
+        assert placed[0] == 32
+
+    def test_min_start_beyond_capacity_excluded(self):
+        webs = [_mk_web(0)]
+        inter = self._interference(webs, [])
+        assert assign_webs(webs, inter, capacity=64,
+                           min_start={0: 64}) == {}
+
+    def test_mixed_sizes_no_overlap(self):
+        webs = [_mk_web(0, RegClass.FLOAT), _mk_web(1), _mk_web(2)]
+        inter = self._interference(webs, [(0, 1), (0, 2), (1, 2)])
+        placed = assign_webs(webs, inter, capacity=64)
+        ranges = sorted((placed[w.web_id], placed[w.web_id] + w.size)
+                        for w in webs)
+        for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+            assert e1 <= s2

@@ -1,0 +1,197 @@
+"""Spill-web discovery tests (the paper's 'SSA over spill locations')."""
+
+from repro.ccm import find_spill_webs
+from repro.ir import RegClass, parse_function
+
+
+class TestSingleWeb:
+    def test_store_load_pair(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    spill %v0 => [0]
+    reload [0] => %v1
+    ret %v1
+.endfunc
+""")
+        webs = find_spill_webs(fn)
+        assert len(webs) == 1
+        assert webs[0].offset == 0
+        assert len(webs[0].stores) == 1
+        assert len(webs[0].loads) == 1
+        assert webs[0].rclass is RegClass.INT
+        assert not webs[0].upward_exposed
+
+    def test_float_web_size(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadFI 1.0 => %w0
+    fspill %w0 => [8]
+    freload [8] => %w1
+    ret %w1
+.endfunc
+""")
+        webs = find_spill_webs(fn)
+        assert webs[0].size == 8
+        assert webs[0].rclass is RegClass.FLOAT
+
+    def test_no_spills_no_webs(self):
+        fn = parse_function("""
+.func f()
+entry:
+    ret
+.endfunc
+""")
+        assert find_spill_webs(fn) == []
+
+
+class TestWebSeparation:
+    def test_disjoint_reuses_of_same_offset_split(self):
+        """Two unrelated values through one slot are two webs."""
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    spill %v0 => [0]
+    reload [0] => %v1
+    loadI 2 => %v2
+    spill %v2 => [0]
+    reload [0] => %v3
+    add %v1, %v3 => %v4
+    ret %v4
+.endfunc
+""")
+        webs = find_spill_webs(fn)
+        assert len(webs) == 2
+        assert all(w.offset == 0 for w in webs)
+
+    def test_different_offsets_different_webs(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    spill %v0 => [0]
+    spill %v0 => [4]
+    reload [0] => %v1
+    reload [4] => %v2
+    add %v1, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        assert len(find_spill_webs(fn)) == 2
+
+
+class TestJoinPoints:
+    def test_stores_merging_at_join_form_one_web(self):
+        """A load reached by stores from both branches unions them
+        (exactly what the phi in the paper's memory SSA expresses)."""
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    cbr %v0 -> a, b
+a:
+    loadI 1 => %v1
+    spill %v1 => [0]
+    jump -> join
+b:
+    loadI 2 => %v2
+    spill %v2 => [0]
+    jump -> join
+join:
+    reload [0] => %v3
+    ret %v3
+.endfunc
+""")
+        webs = find_spill_webs(fn)
+        assert len(webs) == 1
+        assert len(webs[0].stores) == 2
+        assert len(webs[0].loads) == 1
+
+    def test_loop_carried_web(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    loadI 0 => %v1
+    spill %v1 => [0]
+    jump -> head
+head:
+    reload [0] => %v2
+    addI %v2, 1 => %v3
+    spill %v3 => [0]
+    cbr %v0 -> head, exit
+exit:
+    reload [0] => %v4
+    ret %v4
+.endfunc
+""")
+        webs = find_spill_webs(fn)
+        assert len(webs) == 1
+        assert len(webs[0].stores) == 2
+        assert len(webs[0].loads) == 2
+
+
+class TestUpwardExposure:
+    def test_load_without_store_is_exposed(self):
+        fn = parse_function("""
+.func f()
+entry:
+    reload [0] => %v0
+    ret %v0
+.endfunc
+""")
+        webs = find_spill_webs(fn)
+        assert len(webs) == 1
+        assert webs[0].upward_exposed
+
+    def test_load_before_store_on_some_path(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    cbr %v0 -> init, use
+init:
+    loadI 1 => %v1
+    spill %v1 => [0]
+    jump -> use
+use:
+    reload [0] => %v2
+    ret %v2
+.endfunc
+""")
+        webs = find_spill_webs(fn)
+        assert any(w.upward_exposed for w in webs)
+
+    def test_allocator_generated_code_never_exposed(self):
+        from conftest import build_loop_sum_program
+
+        from repro.machine import MachineConfig
+        from repro.regalloc import allocate_function
+
+        prog = build_loop_sum_program()
+        machine = MachineConfig(n_int_regs=4, n_float_regs=4, n_args=2,
+                                callee_saved_start=4)
+        allocate_function(prog.entry, machine, rematerialize=False)
+        webs = find_spill_webs(prog.entry)
+        assert webs
+        assert not any(w.upward_exposed for w in webs)
+
+
+class TestDeterminism:
+    def test_web_ids_stable(self):
+        text = """
+.func f()
+entry:
+    loadI 1 => %v0
+    spill %v0 => [0]
+    spill %v0 => [4]
+    reload [0] => %v1
+    reload [4] => %v2
+    add %v1, %v2 => %v3
+    ret %v3
+.endfunc
+"""
+        a = find_spill_webs(parse_function(text))
+        b = find_spill_webs(parse_function(text))
+        assert [(w.offset, w.stores, w.loads) for w in a] == \
+            [(w.offset, w.stores, w.loads) for w in b]

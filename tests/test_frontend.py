@@ -1,0 +1,257 @@
+"""MFL front-end tests: lexer, parser, typing, and lowering semantics
+(checked against plain-Python reference implementations)."""
+
+import pytest
+
+from conftest import assert_close, simulate
+
+from repro.frontend import (LexError, MflSyntaxError, MflTypeError,
+                            compile_source, parse_source, tokenize)
+from repro.ir import verify_program
+
+
+def run(source, entry=None, args=()):
+    prog = compile_source(source)
+    verify_program(prog)
+    from repro.machine import Simulator
+    return Simulator(prog).run(entry=entry, args=list(args)).value
+
+
+class TestLexer:
+    def test_numbers(self):
+        kinds = [(t.kind, t.text) for t in tokenize("12 3.5 1e3 .25")][:-1]
+        assert kinds == [("int", "12"), ("float", "3.5"),
+                         ("float", "1e3"), ("float", ".25")]
+
+    def test_keywords_vs_names(self):
+        tokens = tokenize("while whileish")
+        assert tokens[0].kind == "kw"
+        assert tokens[1].kind == "name"
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("<= >= == != && || << >>")][:-1]
+        assert texts == ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 # a comment\n2")
+        assert [t.text for t in tokens][:-1] == ["1", "2"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens][:-1] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_precedence_mul_before_add(self):
+        assert run("func main(): int { return 2 + 3 * 4 }") == 14
+
+    def test_parentheses(self):
+        assert run("func main(): int { return (2 + 3) * 4 }") == 20
+
+    def test_unary_minus(self):
+        assert run("func main(): int { return -3 + 10 }") == 7
+
+    def test_comparison_chain_via_logic(self):
+        src = "func main(): int { return (1 < 2) && (3 < 4) }"
+        assert run(src) == 1
+
+    def test_shift_operators(self):
+        assert run("func main(): int { return 1 << 4 }") == 16
+        assert run("func main(): int { return 256 >> 3 }") == 32
+
+    def test_else_if_chain(self):
+        src = """
+func classify(x: int): int {
+  if (x < 0) { return -1 }
+  else if (x == 0) { return 0 }
+  else { return 1 }
+}
+func main(): int { return classify(-5) * 100 + classify(0) * 10 + classify(7) }
+"""
+        assert run(src) == -99  # -1*100 + 0*10 + 1
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(MflSyntaxError, match="line 3"):
+            parse_source("func main(): int {\n  var x: int = 1\n  var : int\n}")
+
+    def test_global_initializer(self):
+        src = """
+global T: int[4] = {10, 20, 30, 40}
+func main(): int { return T[2] }
+"""
+        assert run(src) == 30
+
+    def test_negative_initializer(self):
+        src = """
+global T: float[2] = {-1.5, 2.0}
+func main(): float { return T[0] }
+"""
+        assert run(src) == -1.5
+
+
+class TestTyping:
+    def test_mixed_arithmetic_rejected(self):
+        with pytest.raises(MflTypeError, match="int and float|float and int"):
+            compile_source("func main(): float { return 1 + 2.0 }")
+
+    def test_explicit_conversion_accepted(self):
+        assert run("func main(): float { return float(1) + 2.0 }") == 3.0
+
+    def test_mod_on_float_rejected(self):
+        with pytest.raises(MflTypeError):
+            compile_source("func main(): float { return 1.0 % 2.0 }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(MflTypeError, match="undeclared"):
+            compile_source("func main(): int { return ghost }")
+
+    def test_redeclaration(self):
+        with pytest.raises(MflTypeError, match="redeclaration"):
+            compile_source(
+                "func main(): int { var x: int = 1 var x: int = 2 return x }")
+
+    def test_wrong_return_type(self):
+        with pytest.raises(MflTypeError):
+            compile_source("func main(): int { return 1.5 }")
+
+    def test_missing_return_detected(self):
+        with pytest.raises(MflTypeError, match="end of a function"):
+            compile_source(
+                "func main(): int { var x: int = 1 }")
+
+    def test_return_in_both_arms_ok(self):
+        src = """
+func main(): int {
+  if (1 < 2) { return 1 } else { return 2 }
+}
+"""
+        assert run(src) == 1
+
+    def test_call_arity_checked(self):
+        with pytest.raises(MflTypeError, match="takes 1 args"):
+            compile_source("""
+func f(x: int): int { return x }
+func main(): int { return f(1, 2) }
+""")
+
+    def test_unknown_function(self):
+        with pytest.raises(MflTypeError, match="unknown function"):
+            compile_source("func main(): int { return ghost(1) }")
+
+    def test_unknown_array(self):
+        with pytest.raises(MflTypeError, match="unknown array"):
+            compile_source("func main(): int { return A[0] }")
+
+    def test_float_index_rejected(self):
+        with pytest.raises(MflTypeError):
+            compile_source("""
+global A: int[4]
+func main(): int { return A[1.5] }
+""")
+
+
+class TestSemantics:
+    def test_fibonacci_matches_python(self):
+        src = """
+func fib(n: int): int {
+  if (n < 2) { return n }
+  return fib(n - 1) + fib(n - 2)
+}
+func main(): int { return fib(12) }
+"""
+        def fib(n):
+            return n if n < 2 else fib(n - 1) + fib(n - 2)
+        assert run(src) == fib(12)
+
+    def test_for_loop_sum(self):
+        src = """
+func main(): int {
+  var s: int = 0
+  var i: int = 0
+  for (i = 0; i < 100; i = i + 1) { s = s + i }
+  return s
+}
+"""
+        assert run(src) == sum(range(100))
+
+    def test_array_store_and_load(self):
+        src = """
+global A: float[8]
+func main(): float {
+  var i: int = 0
+  while (i < 8) { A[i] = float(i) * 1.5; i = i + 1 }
+  return A[3] + A[7]
+}
+"""
+        assert run(src) == 3 * 1.5 + 7 * 1.5
+
+    def test_newton_sqrt(self):
+        src = """
+func sqrt_newton(x: float): float {
+  var guess: float = x * 0.5
+  var i: int = 0
+  while (i < 20) {
+    guess = (guess + x / guess) * 0.5
+    i = i + 1
+  }
+  return guess
+}
+func main(): float { return sqrt_newton(2.0) }
+"""
+        assert run(src) == pytest.approx(2 ** 0.5)
+
+    def test_logical_not(self):
+        assert run("func main(): int { return !0 * 10 + !5 }") == 10
+
+    def test_void_function_call(self):
+        src = """
+global A: int[1]
+func poke(v: int) { A[0] = v }
+func main(): int {
+  poke(42)
+  return A[0]
+}
+"""
+        assert run(src) == 42
+
+    def test_void_call_as_value_rejected(self):
+        with pytest.raises(MflTypeError, match="void"):
+            compile_source("""
+func nothing() { return }
+func main(): int { return nothing() }
+""")
+
+    def test_entry_with_args(self):
+        src = "func main(a: int, b: int): int { return a * b }"
+        assert run(src, args=[6, 7]) == 42
+
+    def test_matmul_2x2(self):
+        src = """
+global M: float[4] = {1.0, 2.0, 3.0, 4.0}
+global N: float[4] = {5.0, 6.0, 7.0, 8.0}
+global R: float[4]
+func main(): float {
+  var i: int = 0
+  while (i < 2) {
+    var j: int = 0
+    while (j < 2) {
+      var acc: float = 0.0
+      var k: int = 0
+      while (k < 2) {
+        acc = acc + M[i * 2 + k] * N[k * 2 + j]
+        k = k + 1
+      }
+      R[i * 2 + j] = acc
+      j = j + 1
+    }
+    i = i + 1
+  }
+  return R[0] * 1000.0 + R[1] * 100.0 + R[2] * 10.0 + R[3]
+}
+"""
+        # [[1,2],[3,4]] @ [[5,6],[7,8]] = [[19,22],[43,50]]
+        assert run(src) == 19 * 1000.0 + 22 * 100.0 + 43 * 10.0 + 50

@@ -1,0 +1,155 @@
+"""Additional MFL front-end coverage: syntax variations, edge shapes,
+and lowering details."""
+
+import pytest
+
+from repro.frontend import MflSyntaxError, compile_source, parse_source
+from repro.frontend.ast import Binary, For, If, While
+from repro.ir import Opcode, verify_program
+from repro.machine import Simulator
+
+
+def run(source, args=()):
+    prog = compile_source(source)
+    verify_program(prog)
+    return Simulator(prog).run(args=list(args)).value
+
+
+class TestSyntaxVariations:
+    def test_semicolons_optional(self):
+        with_semis = "func main(): int { var x: int = 1; return x; }"
+        without = "func main(): int { var x: int = 1 return x }"
+        assert run(with_semis) == run(without) == 1
+
+    def test_comments_anywhere(self):
+        source = """
+# leading comment
+func main(): int {  # trailing
+  # inner
+  return 7  # after statement
+}
+"""
+        assert run(source) == 7
+
+    def test_deeply_nested_parens(self):
+        assert run("func main(): int { return ((((1 + 2)) * ((3)))) }") == 9
+
+    def test_for_with_stride(self):
+        source = """
+func main(): int {
+  var s: int = 0
+  var i: int = 0
+  for (i = 0; i < 20; i = i + 3) { s = s + i }
+  return s
+}
+"""
+        assert run(source) == sum(range(0, 20, 3))
+
+    def test_while_with_compound_condition(self):
+        source = """
+func main(): int {
+  var i: int = 0
+  var j: int = 10
+  while ((i < 5) && (j > 6)) { i = i + 1; j = j - 1 }
+  return i * 100 + j
+}
+"""
+        # loop runs while both hold: stops when j == 6 (after 4 steps)
+        assert run(source) == 4 * 100 + 6
+
+    def test_array_load_in_expression_vs_store(self):
+        source = """
+global A: int[4] = {5, 6, 7, 8}
+func main(): int {
+  A[0] = A[1] + A[2]
+  return A[0]
+}
+"""
+        assert run(source) == 13
+
+    def test_empty_function_body_void(self):
+        source = """
+func nothing() { }
+func main(): int { nothing() return 3 }
+"""
+        assert run(source) == 3
+
+
+class TestAstShapes:
+    def test_if_else_chain_nests(self):
+        module = parse_source("""
+func f(x: int): int {
+  if (x < 0) { return 0 }
+  else if (x < 10) { return 1 }
+  else { return 2 }
+}
+""")
+        stmt = module.functions[0].body[0]
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.else_body[0], If)
+
+    def test_for_desugars_to_assign_plus_while(self):
+        module = parse_source("""
+func f(): int {
+  var i: int = 0
+  for (i = 0; i < 3; i = i + 1) { }
+  return i
+}
+""")
+        loop = module.functions[0].body[1]
+        assert isinstance(loop, For)
+        assert isinstance(loop.cond, Binary)
+
+    def test_operator_precedence_shape(self):
+        module = parse_source("func f(): int { return 1 + 2 * 3 }")
+        expr = module.functions[0].body[0].value
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+
+class TestLoweringDetails:
+    def test_param_classes(self):
+        prog = compile_source("func f(a: int, b: float): float "
+                              "{ return b } "
+                              "func main(): float { return f(1, 2.0) }")
+        fn = prog.functions["f"]
+        from repro.ir import RegClass
+        assert fn.params[0].rclass is RegClass.INT
+        assert fn.params[1].rclass is RegClass.FLOAT
+
+    def test_index_scaling_matches_element_size(self):
+        prog = compile_source("""
+global F: float[4]
+global N: int[4]
+func main(): int {
+  F[1] = 1.0
+  N[1] = 1
+  return N[1]
+}
+""")
+        scales = [i.imm for _, i in prog.entry.instructions()
+                  if i.opcode is Opcode.MULTI]
+        assert 8 in scales and 4 in scales
+
+    def test_unary_not_lowered_to_cmp(self):
+        prog = compile_source("func main(): int { var x: int = 5 "
+                              "return !x }")
+        ops = {i.opcode for _, i in prog.entry.instructions()}
+        assert Opcode.CMPEQ in ops
+
+    def test_recursion_through_forward_reference(self):
+        source = """
+func even(n: int): int {
+  if (n == 0) { return 1 }
+  return odd(n - 1)
+}
+func odd(n: int): int {
+  if (n == 0) { return 0 }
+  return even(n - 1)
+}
+func main(): int { return even(10) * 10 + odd(10) }
+"""
+        assert run(source) == 10
+
+    def test_entry_args_flow_through(self):
+        assert run("func main(n: int): int { return n * n }", [9]) == 81

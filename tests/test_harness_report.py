@@ -1,0 +1,40 @@
+"""Unit tests for the EXPERIMENTS.md report generator's helpers.
+
+The full ``generate_markdown`` run takes minutes (it is exercised by
+``python -m repro.harness experiments``); these tests check the pieces.
+"""
+
+import pytest
+
+from repro.harness.report import PAPER, _code_block
+
+
+class TestPaperConstants:
+    def test_headline_numbers_present(self):
+        assert PAPER["table1_total_ratio"] == 0.68
+        assert PAPER["table2_best"] == 0.78
+        assert PAPER["table3_improved"] == 11
+
+    def test_table4_covers_all_algorithms(self):
+        assert set(PAPER["table4"]) == {"postpass", "postpass_cg",
+                                        "integrated"}
+        for cells in PAPER["table4"].values():
+            assert len(cells) == 4
+            total512, total1024, mem512, mem1024 = cells
+            # the paper's own ordering: memory >= total, 1KB >= 512B
+            assert mem512 >= total512
+            assert total1024 >= total512
+
+    def test_paper_interprocedural_dominates(self):
+        # sanity on the transcription of the paper's Table 4
+        for i in range(4):
+            assert PAPER["table4"]["postpass_cg"][i] >= \
+                PAPER["table4"]["postpass"][i]
+
+
+class TestHelpers:
+    def test_code_block_fences(self):
+        lines = _code_block("hello\nworld")
+        assert lines[0] == "```"
+        assert lines[-2] == "```"
+        assert "hello\nworld" in lines

@@ -1,0 +1,59 @@
+"""Additional ExperimentRunner / VariantResult behavior tests."""
+
+import pytest
+
+from repro.harness import ExperimentRunner, run_ablation
+from repro.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestVariantResult:
+    def test_spill_bytes_recorded(self, runner):
+        base = runner.run("decomp", "baseline")
+        assert "decomp" in base.spill_bytes
+        assert base.spill_bytes["decomp"] > 0
+
+    def test_ccm_high_water_zero_for_baseline(self, runner):
+        base = runner.run("decomp", "baseline")
+        assert all(v == 0 for v in base.ccm_high_water.values())
+
+    def test_ccm_high_water_positive_after_promotion(self, runner):
+        promoted = runner.run("decomp", "postpass_cg")
+        assert promoted.ccm_high_water["decomp"] > 0
+
+    def test_properties_mirror_stats(self, runner):
+        result = runner.run("decomp", "baseline")
+        assert result.cycles == result.stats.cycles
+        assert result.memory_cycles == result.stats.memory_cycles
+
+
+class TestRunnerConfig:
+    def test_custom_ccm_size_builds_machine(self, runner):
+        machine = runner.machine(256)
+        assert machine.ccm_bytes == 256
+
+    def test_standard_sizes_reuse_paper_machines(self, runner):
+        assert runner.machine(512).ccm_bytes == 512
+        assert runner.machine(1024).ccm_bytes == 1024
+
+    def test_reference_value_cached(self, runner):
+        a = runner.reference_value("decomp")
+        b = runner.reference_value("decomp")
+        assert a == b
+
+    def test_run_all_subset(self, runner):
+        results = runner.run_all("baseline", workloads=["decomp", "urand"])
+        assert set(results) == {"decomp", "urand"}
+
+
+class TestAblationResult:
+    def test_unknown_cell_raises(self):
+        result = run_ablation(["decomp"])
+        with pytest.raises(KeyError):
+            result.ratio("decomp", "warp-drive")
+        with pytest.raises(KeyError):
+            result.ratio("nonesuch", "ccm")

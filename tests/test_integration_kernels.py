@@ -1,0 +1,177 @@
+"""End-to-end integration tests on classic numeric kernels.
+
+Each kernel is written in MFL, compiled through every allocator
+variant, and checked bit-for-bit against a plain-Python reference.
+These are the "does the whole compiler actually work" tests.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.harness.experiment import VARIANTS, compile_program
+from repro.machine import MachineConfig, PAPER_MACHINE_512, Simulator
+
+
+def compile_and_run(source, variant, machine=PAPER_MACHINE_512):
+    prog = compile_source(source)
+    compile_program(prog, machine, variant)
+    return Simulator(prog, machine, poison_caller_saved=True).run().value
+
+
+def reference(source):
+    return Simulator(compile_source(source)).run().value
+
+
+DOT_PRODUCT = """
+global X: float[64] = {%s}
+global Y: float[64] = {%s}
+func main(): float {
+  var acc: float = 0.0
+  var i: int = 0
+  while (i < 64) { acc = acc + X[i] * Y[i]; i = i + 1 }
+  return acc
+}
+""" % (", ".join(f"{(i % 7) * 0.5 + 0.1}" for i in range(64)),
+       ", ".join(f"{(i % 5) * 0.25 + 0.2}" for i in range(64)))
+
+
+MATMUL_4X4 = """
+global M: float[16] = {%s}
+global N: float[16] = {%s}
+global R: float[16]
+func main(): float {
+  var i: int = 0
+  var check: float = 0.0
+  while (i < 4) {
+    var j: int = 0
+    while (j < 4) {
+      var acc: float = 0.0
+      var k: int = 0
+      while (k < 4) {
+        acc = acc + M[i * 4 + k] * N[k * 4 + j]
+        k = k + 1
+      }
+      R[i * 4 + j] = acc
+      check = check + acc * float(i * 4 + j + 1)
+      j = j + 1
+    }
+    i = i + 1
+  }
+  return check
+}
+""" % (", ".join(f"{(i * 3) % 7 + 1.0}" for i in range(16)),
+       ", ".join(f"{(i * 5) % 9 + 1.0}" for i in range(16)))
+
+
+HORNER_POLY = """
+global C: float[24] = {%s}
+func horner(x: float): float {
+  var acc: float = 0.0
+  var i: int = 0
+  while (i < 24) { acc = acc * x + C[i]; i = i + 1 }
+  return acc
+}
+func main(): float {
+  var total: float = 0.0
+  var i: int = 0
+  while (i < 16) {
+    total = total + horner(float(i) * 0.125)
+    i = i + 1
+  }
+  return total
+}
+""" % ", ".join(f"{((i * 11) % 13) * 0.1 + 0.05}" for i in range(24))
+
+
+GAUSS_SUM_RECURSIVE = """
+func gauss(n: int): int {
+  if (n < 1) { return 0 }
+  return n + gauss(n - 1)
+}
+func main(): int { return gauss(50) }
+"""
+
+
+STENCIL_3POINT = """
+global U: float[66] = {%s}
+global V: float[66]
+func main(): float {
+  var t: int = 0
+  while (t < 10) {
+    var i: int = 1
+    while (i < 65) {
+      V[i] = (U[i - 1] + U[i] * 2.0 + U[i + 1]) * 0.25
+      i = i + 1
+    }
+    i = 1
+    while (i < 65) { U[i] = V[i]; i = i + 1 }
+    t = t + 1
+  }
+  return U[32]
+}
+""" % ", ".join(f"{(i % 13) * 0.5}" for i in range(66))
+
+
+KERNELS = {
+    "dot_product": DOT_PRODUCT,
+    "matmul_4x4": MATMUL_4X4,
+    "horner_poly": HORNER_POLY,
+    "gauss_recursive": GAUSS_SUM_RECURSIVE,
+    "stencil": STENCIL_3POINT,
+}
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("kernel", KERNELS, ids=KERNELS.keys())
+def test_kernel_all_variants(kernel, variant):
+    source = KERNELS[kernel]
+    expected = reference(source)
+    got = compile_and_run(source, variant)
+    assert got == pytest.approx(expected, rel=1e-12)
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=KERNELS.keys())
+def test_kernel_python_cross_check(kernel):
+    """Reference interpreter vs. an independent Python computation."""
+    expected = reference(KERNELS[kernel])
+    if kernel == "dot_product":
+        x = [(i % 7) * 0.5 + 0.1 for i in range(64)]
+        y = [(i % 5) * 0.25 + 0.2 for i in range(64)]
+        check = sum(a * b for a, b in zip(x, y))
+    elif kernel == "matmul_4x4":
+        m = [(i * 3) % 7 + 1.0 for i in range(16)]
+        n = [(i * 5) % 9 + 1.0 for i in range(16)]
+        check = 0.0
+        for i in range(4):
+            for j in range(4):
+                acc = sum(m[i * 4 + k] * n[k * 4 + j] for k in range(4))
+                check += acc * (i * 4 + j + 1)
+    elif kernel == "horner_poly":
+        c = [((i * 11) % 13) * 0.1 + 0.05 for i in range(24)]
+        def horner(x):
+            acc = 0.0
+            for coefficient in c:
+                acc = acc * x + coefficient
+            return acc
+        check = sum(horner(i * 0.125) for i in range(16))
+    elif kernel == "gauss_recursive":
+        check = sum(range(51))
+    else:  # stencil
+        u = [(i % 13) * 0.5 for i in range(66)]
+        for _ in range(10):
+            v = list(u)
+            for i in range(1, 65):
+                v[i] = (u[i - 1] + u[i] * 2.0 + u[i + 1]) * 0.25
+            u[1:65] = v[1:65]
+        check = u[32]
+    assert expected == pytest.approx(check, rel=1e-12)
+
+
+def test_stencil_under_tiny_machine():
+    """The stencil with 6 registers per class: heavy spilling, and the
+    integrated CCM allocator must still produce the same answer."""
+    machine = MachineConfig(n_int_regs=6, n_float_regs=6, n_args=2,
+                            callee_saved_start=6, ccm_bytes=96)
+    expected = reference(STENCIL_3POINT)
+    got = compile_and_run(STENCIL_3POINT, "integrated", machine)
+    assert got == pytest.approx(expected, rel=1e-12)

@@ -1,0 +1,104 @@
+"""Unit tests for blocks, functions, globals, programs."""
+
+import pytest
+
+from repro.ir import (BasicBlock, Function, GlobalArray, Instruction,
+                      Opcode, Program, RegClass)
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        block = BasicBlock("L0")
+        assert block.terminator is None
+        block.append(Instruction(Opcode.JUMP, labels=["L1"]))
+        assert block.terminator is not None
+
+    def test_successor_labels(self):
+        block = BasicBlock("L0")
+        block.append(Instruction(Opcode.CBR, [], [None], labels=["A", "B"]))
+        assert block.successor_labels() == ["A", "B"]
+
+    def test_ret_has_no_successors(self):
+        block = BasicBlock("L0")
+        block.append(Instruction(Opcode.RET))
+        assert block.successor_labels() == []
+
+    def test_phis_prefix(self):
+        block = BasicBlock("L0")
+        block.append(Instruction(Opcode.PHI, [None], []))
+        block.append(Instruction(Opcode.NOP))
+        assert len(block.phis()) == 1
+        assert block.non_phi_start() == 1
+
+
+class TestFunction:
+    def test_new_block_unique_labels(self):
+        fn = Function("f")
+        labels = {fn.new_block().label for _ in range(5)}
+        assert len(labels) == 5
+
+    def test_duplicate_label_rejected(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("x"))
+        with pytest.raises(ValueError):
+            fn.add_block(BasicBlock("x"))
+
+    def test_entry_is_first_block(self):
+        fn = Function("f")
+        first = fn.new_block("a")
+        fn.new_block("b")
+        assert fn.entry is first
+
+    def test_entry_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            Function("f").entry
+
+    def test_new_vreg_fresh(self):
+        fn = Function("f")
+        a = fn.new_vreg(RegClass.INT)
+        b = fn.new_vreg(RegClass.FLOAT)
+        assert a != b and a.index != b.index
+
+    def test_note_vreg_prevents_collision(self):
+        fn = Function("f")
+        from repro.ir import VirtualReg
+        fn.note_vreg(VirtualReg(10, RegClass.INT))
+        assert fn.new_vreg(RegClass.INT).index == 11
+
+    def test_remove_block(self):
+        fn = Function("f")
+        fn.new_block("a")
+        dead = fn.new_block("b")
+        fn.remove_block(dead.label)
+        assert not fn.has_block(dead.label)
+        assert len(fn.blocks) == 1
+
+
+class TestGlobalArray:
+    def test_element_counts(self):
+        g = GlobalArray("A", 40, RegClass.INT)
+        assert g.n_elements == 10
+        assert g.element_size == 4
+
+    def test_float_elements(self):
+        g = GlobalArray("B", 40, RegClass.FLOAT)
+        assert g.n_elements == 5
+
+
+class TestProgram:
+    def test_entry_lookup(self):
+        prog = Program()
+        prog.add_function(Function("main"))
+        assert prog.entry.name == "main"
+
+    def test_duplicate_function_rejected(self):
+        prog = Program()
+        prog.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            prog.add_function(Function("f"))
+
+    def test_duplicate_global_rejected(self):
+        prog = Program()
+        prog.add_global(GlobalArray("A", 8, RegClass.INT))
+        with pytest.raises(ValueError):
+            prog.add_global(GlobalArray("A", 8, RegClass.INT))

@@ -1,0 +1,85 @@
+"""Unit tests for instruction objects and convenience constructors."""
+
+from repro.ir import (Instruction, Opcode, RegClass, VirtualReg,
+                      make_ccm_load, make_ccm_store, make_move, make_reload,
+                      make_spill)
+
+
+def _v(i, rc=RegClass.INT):
+    return VirtualReg(i, rc)
+
+
+class TestClassification:
+    def test_branch(self):
+        assert Instruction(Opcode.JUMP, labels=["L"]).is_branch
+        assert Instruction(Opcode.RET).is_branch
+        assert not Instruction(Opcode.ADD, [_v(0)], [_v(1), _v(2)]).is_branch
+
+    def test_call(self):
+        assert Instruction(Opcode.CALL, symbol="f").is_call
+
+    def test_move(self):
+        assert make_move(_v(0), _v(1)).is_move
+        assert not Instruction(Opcode.ADD, [_v(0)], [_v(1), _v(2)]).is_move
+
+    def test_main_memory(self):
+        assert Instruction(Opcode.LOAD, [_v(0)], [_v(1)]).is_main_memory_op
+        assert make_spill(_v(0), 4).is_main_memory_op
+        assert not make_ccm_store(_v(0), 4).is_main_memory_op
+
+    def test_spill_related(self):
+        assert make_spill(_v(0), 0).is_spill_related
+        assert make_reload(_v(0), 0).is_spill_related
+        assert make_ccm_store(_v(0), 0).is_spill_related
+        assert not Instruction(Opcode.LOAD, [_v(0)], [_v(1)]).is_spill_related
+
+    def test_ccm_op(self):
+        assert make_ccm_load(_v(0), 0).is_ccm_op
+        assert not make_reload(_v(0), 0).is_ccm_op
+
+
+class TestConstructors:
+    def test_move_class_dispatch(self):
+        assert make_move(_v(0), _v(1)).opcode is Opcode.MOV
+        f = RegClass.FLOAT
+        assert make_move(_v(0, f), _v(1, f)).opcode is Opcode.FMOV
+
+    def test_spill_class_dispatch(self):
+        assert make_spill(_v(0), 8).opcode is Opcode.SPILL
+        assert make_spill(_v(0, RegClass.FLOAT), 8).opcode is Opcode.FSPILL
+        assert make_reload(_v(0, RegClass.FLOAT), 8).opcode is Opcode.FRELOAD
+
+    def test_ccm_class_dispatch(self):
+        assert make_ccm_store(_v(0), 0).opcode is Opcode.CCMST
+        assert make_ccm_load(_v(0, RegClass.FLOAT), 0).opcode is Opcode.FCCMLD
+
+    def test_offset_recorded(self):
+        assert make_spill(_v(0), 24).imm == 24
+
+
+class TestMutation:
+    def test_replace_src(self):
+        instr = Instruction(Opcode.ADD, [_v(0)], [_v(1), _v(1)])
+        assert instr.replace_src(_v(1), _v(9)) == 2
+        assert instr.srcs == [_v(9), _v(9)]
+
+    def test_replace_dst(self):
+        instr = Instruction(Opcode.ADD, [_v(0)], [_v(1), _v(2)])
+        assert instr.replace_dst(_v(0), _v(5)) == 1
+        assert instr.dsts == [_v(5)]
+
+    def test_replace_miss(self):
+        instr = Instruction(Opcode.ADD, [_v(0)], [_v(1), _v(2)])
+        assert instr.replace_src(_v(7), _v(8)) == 0
+
+    def test_copy_independent(self):
+        instr = Instruction(Opcode.ADDI, [_v(0)], [_v(1)], imm=4)
+        clone = instr.copy()
+        clone.srcs[0] = _v(9)
+        clone.imm = 8
+        assert instr.srcs == [_v(1)]
+        assert instr.imm == 4
+
+    def test_regs_lists_all(self):
+        instr = Instruction(Opcode.ADD, [_v(0)], [_v(1), _v(2)])
+        assert set(instr.regs()) == {_v(0), _v(1), _v(2)}

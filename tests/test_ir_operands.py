@@ -1,0 +1,65 @@
+"""Unit tests for IR operand types."""
+
+import pytest
+
+from repro.ir import Label, PhysReg, RegClass, VirtualReg, reg_class
+from repro.ir.operands import is_register
+
+
+class TestRegClass:
+    def test_int_size(self):
+        assert RegClass.INT.size_bytes == 4
+
+    def test_float_size(self):
+        assert RegClass.FLOAT.size_bytes == 8
+
+    def test_prefixes(self):
+        assert RegClass.INT.prefix == "r"
+        assert RegClass.FLOAT.prefix == "f"
+
+
+class TestVirtualReg:
+    def test_int_name(self):
+        assert VirtualReg(3, RegClass.INT).name == "%v3"
+
+    def test_float_name(self):
+        assert VirtualReg(7, RegClass.FLOAT).name == "%w7"
+
+    def test_equality_by_value(self):
+        assert VirtualReg(1, RegClass.INT) == VirtualReg(1, RegClass.INT)
+
+    def test_distinct_classes_unequal(self):
+        assert VirtualReg(1, RegClass.INT) != VirtualReg(1, RegClass.FLOAT)
+
+    def test_hashable(self):
+        regs = {VirtualReg(i, RegClass.INT) for i in range(4)}
+        assert len(regs) == 4
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            VirtualReg(0, RegClass.INT).index = 5
+
+
+class TestPhysReg:
+    def test_names(self):
+        assert PhysReg(0, RegClass.INT).name == "r0"
+        assert PhysReg(31, RegClass.FLOAT).name == "f31"
+
+    def test_not_equal_to_virtual(self):
+        assert PhysReg(1, RegClass.INT) != VirtualReg(1, RegClass.INT)
+
+
+class TestHelpers:
+    def test_is_register(self):
+        assert is_register(VirtualReg(0, RegClass.INT))
+        assert is_register(PhysReg(0, RegClass.FLOAT))
+        assert not is_register(Label("L0"))
+        assert not is_register(42)
+
+    def test_reg_class(self):
+        assert reg_class(VirtualReg(0, RegClass.FLOAT)) is RegClass.FLOAT
+        assert reg_class(PhysReg(2, RegClass.INT)) is RegClass.INT
+
+    def test_reg_class_rejects_non_register(self):
+        with pytest.raises(TypeError):
+            reg_class("r0")

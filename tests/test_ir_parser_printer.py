@@ -1,0 +1,152 @@
+"""Printer/parser round-trip tests, including property-based coverage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (Instruction, Opcode, ParseError, PhysReg, RegClass,
+                      VirtualReg, format_instruction, format_program,
+                      parse_instruction, parse_program)
+from repro.ir.opcodes import INFO
+
+from conftest import build_loop_sum_program
+
+
+class TestInstructionRoundTrip:
+    CASES = [
+        Instruction(Opcode.LOADI, [VirtualReg(1, RegClass.INT)], [], imm=42),
+        Instruction(Opcode.LOADFI, [VirtualReg(1, RegClass.FLOAT)], [],
+                    imm=2.5),
+        Instruction(Opcode.LOADG, [VirtualReg(0, RegClass.INT)], [],
+                    symbol="table"),
+        Instruction(Opcode.ADD, [VirtualReg(2, RegClass.INT)],
+                    [VirtualReg(0, RegClass.INT), VirtualReg(1, RegClass.INT)]),
+        Instruction(Opcode.ADDI, [VirtualReg(2, RegClass.INT)],
+                    [VirtualReg(0, RegClass.INT)], imm=-3),
+        Instruction(Opcode.FADD, [VirtualReg(2, RegClass.FLOAT)],
+                    [VirtualReg(0, RegClass.FLOAT),
+                     VirtualReg(1, RegClass.FLOAT)]),
+        Instruction(Opcode.LOAD, [VirtualReg(1, RegClass.INT)],
+                    [VirtualReg(0, RegClass.INT)]),
+        Instruction(Opcode.STOREAI, [],
+                    [VirtualReg(0, RegClass.INT), VirtualReg(1, RegClass.INT)],
+                    imm=16),
+        Instruction(Opcode.SPILL, [], [PhysReg(3, RegClass.INT)], imm=8),
+        Instruction(Opcode.FRELOAD, [PhysReg(2, RegClass.FLOAT)], [], imm=16),
+        Instruction(Opcode.CCMST, [], [PhysReg(1, RegClass.INT)], imm=4),
+        Instruction(Opcode.FCCMLD, [PhysReg(0, RegClass.FLOAT)], [], imm=8),
+        Instruction(Opcode.JUMP, labels=["L3"]),
+        Instruction(Opcode.CBR, [], [VirtualReg(0, RegClass.INT)],
+                    labels=["L1", "L2"]),
+        Instruction(Opcode.CALL, [VirtualReg(0, RegClass.FLOAT)],
+                    [VirtualReg(1, RegClass.INT)], symbol="callee"),
+        Instruction(Opcode.CALL, [], [], symbol="noargs"),
+        Instruction(Opcode.RET, [], [VirtualReg(0, RegClass.INT)]),
+        Instruction(Opcode.RET),
+        Instruction(Opcode.HALT),
+        Instruction(Opcode.PHI, [VirtualReg(5, RegClass.INT)],
+                    [VirtualReg(1, RegClass.INT), VirtualReg(2, RegClass.INT)],
+                    phi_labels=["A", "B"]),
+    ]
+
+    @pytest.mark.parametrize("instr", CASES,
+                             ids=[c.opcode.value for c in CASES])
+    def test_round_trip(self, instr):
+        text = format_instruction(instr)
+        parsed = parse_instruction(text)
+        assert format_instruction(parsed) == text
+        assert parsed.opcode is instr.opcode
+        assert parsed.srcs == instr.srcs
+        assert parsed.dsts == instr.dsts
+        assert parsed.imm == instr.imm
+        assert parsed.labels == instr.labels
+
+
+class TestProgramRoundTrip:
+    def test_loop_sum(self):
+        prog = build_loop_sum_program()
+        text = format_program(prog)
+        again = format_program(parse_program(text))
+        assert again == text
+
+    def test_globals_with_init_survive(self):
+        prog = build_loop_sum_program()
+        text = format_program(prog)
+        parsed = parse_program(text)
+        assert parsed.globals["A"].init == list(range(10))
+
+    def test_frame_size_survives(self):
+        prog = build_loop_sum_program()
+        prog.entry.frame_size = 48
+        parsed = parse_program(format_program(prog))
+        assert parsed.entry.frame_size == 48
+
+    def test_vreg_counter_restored(self):
+        prog = build_loop_sum_program()
+        parsed = parse_program(format_program(prog))
+        fresh = parsed.entry.new_vreg(RegClass.INT)
+        assert all(fresh != r for r in parsed.entry.all_registers())
+
+
+class TestParseErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError):
+            parse_instruction("frobnicate %v0 => %v1")
+
+    def test_bad_register(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add %v0, %q1 => %v2")
+
+    def test_missing_endfunc(self):
+        with pytest.raises(ParseError):
+            parse_program(".func f()\nL0:\n    ret\n")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(ParseError):
+            parse_program(".func f()\n    ret\n.endfunc\n")
+
+    def test_duplicate_label(self):
+        text = ".func f()\nL0:\n    ret\nL0:\n    ret\n.endfunc\n"
+        with pytest.raises(ValueError):
+            parse_program(text)
+
+
+# -- property-based: arbitrary simple instructions round-trip ------------------
+
+_SIMPLE_RR = [op for op, meta in INFO.items()
+              if meta.n_dsts == 1 and meta.n_srcs == 2 and not meta.has_imm
+              and not meta.n_labels]
+
+
+@st.composite
+def rr_instructions(draw):
+    op = draw(st.sampled_from(_SIMPLE_RR))
+    meta = INFO[op]
+    srcs = [VirtualReg(draw(st.integers(0, 200)), rc)
+            for rc in meta.src_classes]
+    dsts = [VirtualReg(draw(st.integers(0, 200)), rc)
+            for rc in meta.dst_classes]
+    return Instruction(op, dsts, srcs)
+
+
+class TestPropertyRoundTrip:
+    @given(rr_instructions())
+    @settings(max_examples=200)
+    def test_rr_round_trip(self, instr):
+        text = format_instruction(instr)
+        parsed = parse_instruction(text)
+        assert parsed.opcode is instr.opcode
+        assert parsed.srcs == instr.srcs
+        assert parsed.dsts == instr.dsts
+
+    @given(st.integers(-2**31, 2**31 - 1))
+    def test_loadi_round_trip(self, value):
+        instr = Instruction(Opcode.LOADI, [VirtualReg(0, RegClass.INT)], [],
+                            imm=value)
+        assert parse_instruction(format_instruction(instr)).imm == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_loadfi_round_trip(self, value):
+        instr = Instruction(Opcode.LOADFI, [VirtualReg(0, RegClass.FLOAT)],
+                            [], imm=float(value))
+        parsed = parse_instruction(format_instruction(instr))
+        assert parsed.imm == pytest.approx(float(value), rel=1e-6, abs=1e-30)

@@ -1,0 +1,166 @@
+"""Verifier tests: each structural invariant trips its own error."""
+
+import pytest
+
+from repro.ir import (BasicBlock, Function, GlobalArray, Instruction,
+                      Opcode, PhysReg, Program, RegClass, VerificationError,
+                      VirtualReg, check_no_virtual_registers,
+                      verify_function, verify_program)
+
+
+def _v(i, rc=RegClass.INT):
+    return VirtualReg(i, rc)
+
+
+def _fn_with(instrs):
+    fn = Function("f")
+    block = fn.new_block("entry")
+    for instr in instrs:
+        block.append(instr)
+    return fn
+
+
+class TestBlockStructure:
+    def test_no_blocks(self):
+        with pytest.raises(VerificationError, match="no blocks"):
+            verify_function(Function("f"))
+
+    def test_empty_block(self):
+        fn = Function("f")
+        fn.new_block("entry")
+        with pytest.raises(VerificationError, match="empty block"):
+            verify_function(fn)
+
+    def test_missing_terminator(self):
+        fn = _fn_with([Instruction(Opcode.LOADI, [_v(0)], [], imm=1)])
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_branch_mid_block(self):
+        fn = _fn_with([
+            Instruction(Opcode.RET),
+            Instruction(Opcode.LOADI, [_v(0)], [], imm=1),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="mid-block"):
+            verify_function(fn)
+
+    def test_phi_after_non_phi(self):
+        fn = _fn_with([
+            Instruction(Opcode.LOADI, [_v(0)], [], imm=1),
+            Instruction(Opcode.PHI, [_v(1)], [_v(0)], phi_labels=["entry"]),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="phi after non-phi"):
+            verify_function(fn)
+
+
+class TestOperandShapes:
+    def test_wrong_src_count(self):
+        fn = _fn_with([
+            Instruction(Opcode.ADD, [_v(0)], [_v(1)]),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="srcs"):
+            verify_function(fn)
+
+    def test_wrong_class(self):
+        fn = _fn_with([
+            Instruction(Opcode.ADD, [_v(0)],
+                        [_v(1), _v(2, RegClass.FLOAT)]),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="class"):
+            verify_function(fn)
+
+    def test_missing_immediate(self):
+        fn = _fn_with([
+            Instruction(Opcode.ADDI, [_v(0)], [_v(1)]),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="immediate"):
+            verify_function(fn)
+
+    def test_negative_spill_offset(self):
+        fn = _fn_with([
+            Instruction(Opcode.SPILL, [], [_v(0)], imm=-4),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="slot offset"):
+            verify_function(fn)
+
+    def test_unknown_branch_target(self):
+        fn = _fn_with([Instruction(Opcode.JUMP, labels=["nowhere"])])
+        with pytest.raises(VerificationError, match="branch target"):
+            verify_function(fn)
+
+    def test_phi_length_mismatch(self):
+        fn = _fn_with([
+            Instruction(Opcode.PHI, [_v(0)], [_v(1), _v(2)],
+                        phi_labels=["entry"]),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="length mismatch"):
+            verify_function(fn)
+
+
+class TestProgramLevel:
+    def _program(self):
+        prog = Program()
+        fn = _fn_with([Instruction(Opcode.RET)])
+        fn.name = "main"
+        prog.add_function(fn)
+        return prog
+
+    def test_missing_entry(self):
+        prog = Program()
+        with pytest.raises(VerificationError, match="entry"):
+            verify_program(prog)
+
+    def test_unknown_callee(self):
+        prog = self._program()
+        prog.entry.entry.instructions.insert(
+            0, Instruction(Opcode.CALL, [], [], symbol="ghost"))
+        with pytest.raises(VerificationError, match="unknown callee"):
+            verify_program(prog)
+
+    def test_call_arity(self):
+        prog = self._program()
+        callee = Function("callee", params=[_v(0)])
+        callee.new_block("entry").append(Instruction(Opcode.RET))
+        prog.add_function(callee)
+        prog.entry.entry.instructions.insert(
+            0, Instruction(Opcode.CALL, [], [], symbol="callee"))
+        with pytest.raises(VerificationError, match="takes 1 args"):
+            verify_program(prog)
+
+    def test_unknown_global(self):
+        prog = self._program()
+        prog.entry.entry.instructions.insert(
+            0, Instruction(Opcode.LOADG, [_v(0)], [], symbol="ghost"))
+        with pytest.raises(VerificationError, match="unknown global"):
+            verify_program(prog)
+
+    def test_known_global_ok(self):
+        prog = self._program()
+        prog.add_global(GlobalArray("table", 8, RegClass.INT))
+        prog.entry.entry.instructions.insert(
+            0, Instruction(Opcode.LOADG, [_v(0)], [], symbol="table"))
+        verify_program(prog)
+
+
+class TestNoVirtualRegisters:
+    def test_accepts_physical_only(self):
+        fn = _fn_with([
+            Instruction(Opcode.LOADI, [PhysReg(0, RegClass.INT)], [], imm=1),
+            Instruction(Opcode.RET),
+        ])
+        check_no_virtual_registers(fn)
+
+    def test_rejects_virtual(self):
+        fn = _fn_with([
+            Instruction(Opcode.LOADI, [_v(0)], [], imm=1),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="survived allocation"):
+            check_no_virtual_registers(fn)

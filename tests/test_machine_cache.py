@@ -1,0 +1,133 @@
+"""Cache model tests: mapping, LRU, write buffer, victim cache."""
+
+import pytest
+
+from repro.machine import CacheConfig, DataCache
+
+
+def _direct(size=256, line=16, **kw):
+    return DataCache(CacheConfig(size_bytes=size, line_bytes=line,
+                                 associativity=1, hit_latency=1,
+                                 miss_penalty=10, **kw))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = _direct()
+        assert cache.access(0, False) == 11
+        assert cache.access(0, False) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_same_line_hits(self):
+        cache = _direct(line=16)
+        cache.access(0, False)
+        assert cache.access(12, False) == 1  # same 16-byte line
+
+    def test_different_lines_miss(self):
+        cache = _direct(line=16)
+        cache.access(0, False)
+        assert cache.access(16, False) == 11
+
+    def test_conflict_eviction_direct_mapped(self):
+        cache = _direct(size=256, line=16)  # 16 sets
+        cache.access(0, False)
+        cache.access(256, False)   # same set, different tag
+        assert cache.access(0, False) == 11  # evicted
+        assert cache.stats.evictions >= 1
+
+    def test_hit_rate(self):
+        cache = _direct()
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_reset(self):
+        cache = _direct()
+        cache.access(0, False)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0, False) == 11
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DataCache(CacheConfig(size_bytes=100, line_bytes=32,
+                                  associativity=1))
+
+
+class TestAssociativity:
+    def test_two_way_avoids_conflict(self):
+        cache = DataCache(CacheConfig(size_bytes=256, line_bytes=16,
+                                      associativity=2, hit_latency=1,
+                                      miss_penalty=10))
+        # 8 sets; addresses 0 and 128*? map to the same set index
+        n_sets = cache.config.n_sets
+        stride = n_sets * 16
+        cache.access(0, False)
+        cache.access(stride, False)
+        assert cache.access(0, False) == 1
+        assert cache.access(stride, False) == 1
+
+    def test_lru_eviction_order(self):
+        cache = DataCache(CacheConfig(size_bytes=256, line_bytes=16,
+                                      associativity=2, hit_latency=1,
+                                      miss_penalty=10))
+        stride = cache.config.n_sets * 16
+        cache.access(0, False)            # way A
+        cache.access(stride, False)       # way B
+        cache.access(0, False)            # touch A: B is now LRU
+        cache.access(2 * stride, False)   # evicts B
+        assert cache.access(0, False) == 1
+        assert cache.access(stride, False) == 11
+
+
+class TestWriteBuffer:
+    def test_store_miss_absorbed(self):
+        cache = _direct(write_buffer=True)
+        assert cache.access(0, True) == 1  # miss, but buffered
+        assert cache.stats.write_buffer_absorbed == 1
+
+    def test_load_miss_not_absorbed(self):
+        cache = _direct(write_buffer=True)
+        assert cache.access(0, False) == 11
+
+    def test_line_allocated_after_buffered_store(self):
+        cache = _direct(write_buffer=True)
+        cache.access(0, True)
+        assert cache.access(0, False) == 1
+
+
+class TestVictimCache:
+    def test_evicted_line_recovered(self):
+        cache = _direct(size=256, line=16, victim_entries=4)
+        cache.access(0, False)
+        cache.access(256, False)   # evicts line 0 into the victim cache
+        assert cache.access(0, False) == 1  # victim hit
+        assert cache.stats.victim_hits == 1
+
+    def test_victim_capacity_limited(self):
+        cache = _direct(size=256, line=16, victim_entries=1)
+        cache.access(0, False)
+        cache.access(256, False)   # 0 -> victim
+        cache.access(512, False)   # 256 -> victim, 0 falls out
+        assert cache.access(0, False) == 11
+
+    def test_no_victim_when_disabled(self):
+        cache = _direct(size=256, line=16)
+        cache.access(0, False)
+        cache.access(256, False)
+        cache.access(0, False)
+        assert cache.stats.victim_hits == 0
+
+
+class TestStatsMerge:
+    def test_merge_accumulates(self):
+        a = _direct()
+        b = _direct()
+        a.access(0, False)
+        b.access(0, False)
+        b.access(0, False)
+        a.stats.merge(b.stats)
+        assert a.stats.accesses == 3
+        assert a.stats.misses == 2

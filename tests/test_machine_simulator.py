@@ -1,0 +1,378 @@
+"""Simulator tests: semantics, cycle accounting, errors, poisoning."""
+
+import pytest
+
+from conftest import build_loop_sum_program, simulate
+
+from repro.ir import parse_program
+from repro.machine import (MachineConfig, OutOfFuel, PAPER_MACHINE_512,
+                           SimulationError, Simulator)
+
+
+def run_main(text, **kwargs):
+    return Simulator(parse_program(text), **kwargs).run()
+
+
+class TestArithmetic:
+    def test_int_ops(self):
+        result = run_main("""
+.program p
+.func main()
+entry:
+    loadI 17 => %v0
+    loadI 5 => %v1
+    div %v0, %v1 => %v2
+    mod %v0, %v1 => %v3
+    mult %v2, %v3 => %v4
+    ret %v4
+.endfunc
+""")
+        assert result.value == (17 // 5) * (17 % 5)
+
+    def test_truncating_division_toward_zero(self):
+        result = run_main("""
+.program p
+.func main()
+entry:
+    loadI -7 => %v0
+    loadI 2 => %v1
+    div %v0, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+        assert result.value == -3  # C semantics, not Python floor
+
+    def test_float_ops(self):
+        result = run_main("""
+.program p
+.func main()
+entry:
+    loadFI 1.5 => %w0
+    loadFI 2.0 => %w1
+    fmult %w0, %w1 => %w2
+    fdiv %w2, %w1 => %w3
+    ret %w3
+.endfunc
+""")
+        assert result.value == pytest.approx(1.5)
+
+    def test_conversions(self):
+        result = run_main("""
+.program p
+.func main()
+entry:
+    loadFI 3.75 => %w0
+    f2i %w0 => %v0
+    i2f %v0 => %w1
+    ret %w1
+.endfunc
+""")
+        assert result.value == 3.0
+
+    def test_comparisons_produce_01(self):
+        result = run_main("""
+.program p
+.func main()
+entry:
+    loadI 3 => %v0
+    loadI 4 => %v1
+    cmp_LT %v0, %v1 => %v2
+    cmp_GT %v0, %v1 => %v3
+    multI %v2, 10 => %v4
+    add %v4, %v3 => %v5
+    ret %v5
+.endfunc
+""")
+        assert result.value == 10
+
+
+class TestCycleAccounting:
+    def test_memory_op_costs_two(self):
+        result = run_main("""
+.program p
+.global A 4 int = 9
+.func main()
+entry:
+    loadG @A => %v0
+    load %v0 => %v1
+    ret %v1
+.endfunc
+""")
+        # loadG(1) + load(2) + ret(1)
+        assert result.stats.cycles == 4
+        assert result.stats.memory_cycles == 2
+
+    def test_ccm_op_costs_one(self):
+        result = run_main("""
+.program p
+.func main()
+entry:
+    loadI 7 => %v0
+    ccmst %v0 => [0]
+    ccmld [0] => %v1
+    ret %v1
+.endfunc
+""")
+        assert result.value == 7
+        assert result.stats.cycles == 4
+        assert result.stats.memory_cycles == 2  # 1 + 1
+
+    def test_spill_counted_as_memory(self):
+        prog = parse_program("""
+.program p
+.func main()
+entry:
+    loadI 7 => %v0
+    spill %v0 => [0]
+    reload [0] => %v1
+    ret %v1
+.endfunc
+""")
+        prog.entry.frame_size = 8
+        result = Simulator(prog).run()
+        assert result.stats.spill_stores == 1
+        assert result.stats.spill_loads == 1
+        assert result.stats.memory_cycles == 4
+
+    def test_instruction_count(self):
+        result = run_main("""
+.program p
+.func main()
+entry:
+    loadI 1 => %v0
+    ret %v0
+.endfunc
+""")
+        assert result.stats.instructions == 2
+
+
+class TestCalls:
+    PROGRAM = """
+.program p
+.func double(%v0)
+entry:
+    multI %v0, 2 => %v1
+    ret %v1
+.endfunc
+.func main()
+entry:
+    loadI 21 => %v0
+    call double(%v0) => %v1
+    ret %v1
+.endfunc
+"""
+
+    def test_call_returns_value(self):
+        assert run_main(self.PROGRAM).value == 42
+
+    def test_recursion(self):
+        result = run_main("""
+.program p
+.func fact(%v0)
+entry:
+    loadI 2 => %v1
+    cmp_LT %v0, %v1 => %v2
+    cbr %v2 -> base, rec
+base:
+    loadI 1 => %v3
+    ret %v3
+rec:
+    subI %v0, 1 => %v4
+    call fact(%v4) => %v5
+    mult %v0, %v5 => %v6
+    ret %v6
+.endfunc
+.func main()
+entry:
+    loadI 6 => %v0
+    call fact(%v0) => %v1
+    ret %v1
+.endfunc
+""")
+        assert result.value == 720
+
+    def test_entry_args(self):
+        prog = parse_program("""
+.program p
+.func main(%v0, %v1)
+entry:
+    add %v0, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+        assert Simulator(prog).run(args=[30, 12]).value == 42
+
+    def test_arity_mismatch_at_entry(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    ret %v0
+.endfunc
+""")
+        with pytest.raises(SimulationError, match="expects 1 args"):
+            Simulator(prog).run(args=[])
+
+
+class TestErrors:
+    def test_undefined_vreg(self):
+        with pytest.raises(SimulationError, match="undefined register"):
+            run_main("""
+.program p
+.func main()
+entry:
+    ret %v0
+.endfunc
+""")
+
+    def test_unmapped_load(self):
+        with pytest.raises(SimulationError, match="unmapped address"):
+            run_main("""
+.program p
+.func main()
+entry:
+    loadI 99999 => %v0
+    load %v0 => %v1
+    ret %v1
+.endfunc
+""")
+
+    def test_ccm_bounds(self):
+        with pytest.raises(SimulationError, match="exceeds"):
+            run_main("""
+.program p
+.func main()
+entry:
+    loadI 1 => %v0
+    ccmst %v0 => [4096]
+    ret %v0
+.endfunc
+""", machine=MachineConfig(ccm_bytes=512))
+
+    def test_ccm_unwritten_load(self):
+        with pytest.raises(SimulationError, match="unwritten"):
+            run_main("""
+.program p
+.func main()
+entry:
+    ccmld [0] => %v0
+    ret %v0
+.endfunc
+""")
+
+    def test_fuel_exhaustion(self):
+        prog = parse_program("""
+.program p
+.func main()
+entry:
+    jump -> entry
+.endfunc
+""")
+        with pytest.raises(OutOfFuel):
+            Simulator(prog, fuel=1000).run()
+
+    def test_phi_rejected(self):
+        with pytest.raises(SimulationError, match="phi"):
+            run_main("""
+.program p
+.func main()
+entry:
+    phi [%v0, entry] => %v1
+    ret %v1
+.endfunc
+""")
+
+    def test_division_by_zero(self):
+        with pytest.raises(SimulationError, match="division by zero"):
+            run_main("""
+.program p
+.func main()
+entry:
+    loadI 1 => %v0
+    loadI 0 => %v1
+    div %v0, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+
+
+class TestPoisoning:
+    def test_caller_saved_poisoned_after_call(self):
+        # main parks a value in caller-saved r5 across a call: must trap
+        text = """
+.program p
+.func callee()
+entry:
+    ret
+.endfunc
+.func main()
+entry:
+    loadI 7 => r5
+    call callee()
+    mov r5 => r6
+    ret r6
+.endfunc
+"""
+        with pytest.raises(SimulationError, match="poisoned"):
+            run_main(text, poison_caller_saved=True)
+        # without poisoning the (unsound) code "works"
+        assert run_main(text).value == 7
+
+    def test_callee_saved_survives(self):
+        machine = PAPER_MACHINE_512
+        reg = machine.callee_saved_start
+        text = f"""
+.program p
+.func callee()
+entry:
+    ret
+.endfunc
+.func main()
+entry:
+    loadI 7 => r{reg}
+    call callee()
+    mov r{reg} => r{reg + 1}
+    ret r{reg + 1}
+.endfunc
+"""
+        assert run_main(text, poison_caller_saved=True).value == 7
+
+    def test_return_value_not_poisoned(self):
+        text = """
+.program p
+.func callee()
+entry:
+    loadI 9 => r0
+    ret r0
+.endfunc
+.func main()
+entry:
+    call callee() => r0
+    ret r0
+.endfunc
+"""
+        assert run_main(text, poison_caller_saved=True).value == 9
+
+
+class TestCcmSharedAcrossCalls:
+    def test_ccm_is_a_global_resource(self):
+        """A callee's CCM writes clobber the caller's offsets — exactly
+        the hazard the interprocedural conventions exist to avoid."""
+        result = run_main("""
+.program p
+.func clobber()
+entry:
+    loadI 666 => %v0
+    ccmst %v0 => [0]
+    ret
+.endfunc
+.func main()
+entry:
+    loadI 1 => %v0
+    ccmst %v0 => [0]
+    call clobber()
+    ccmld [0] => %v1
+    ret %v1
+.endfunc
+""")
+        assert result.value == 666

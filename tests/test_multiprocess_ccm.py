@@ -1,0 +1,69 @@
+"""Multi-tasking CCM support (paper section 2.1).
+
+"In a multi-tasked environment ... we would want to add a
+system-controlled base register to provide each process with its own
+small region within the CCM.  This would allow the system to avoid
+copying the CCM contents to main memory on context switches."
+
+The simulator models the base register as ``Simulator.ccm_base``; the
+"OS" (these tests) changes it between runs of different processes.
+"""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.machine import MachineConfig, SimulationError, Simulator
+
+#: process body: phase1 parks a value in the CCM, phase2 retrieves it
+PROCESS = """
+.program proc
+.func phase1(%v0)
+entry:
+    ccmst %v0 => [0]
+    ret
+.endfunc
+.func phase2()
+entry:
+    ccmld [0] => %v0
+    ret %v0
+.endfunc
+.func main()
+entry:
+    ret
+.endfunc
+"""
+
+
+class TestBaseRegister:
+    def test_processes_in_disjoint_regions_coexist(self):
+        machine = MachineConfig(ccm_bytes=1024)
+        sim = Simulator(parse_program(PROCESS), machine)
+
+        sim.ccm_base = 0
+        sim.run(entry="phase1", args=[111])   # process A runs
+        sim.ccm_base = 512                    # context switch, no copy
+        sim.run(entry="phase1", args=[222])   # process B runs
+        assert sim.run(entry="phase2").value == 222
+        sim.ccm_base = 0                      # switch back to A
+        assert sim.run(entry="phase2").value == 111
+
+    def test_without_base_register_processes_collide(self):
+        machine = MachineConfig(ccm_bytes=1024)
+        sim = Simulator(parse_program(PROCESS), machine)
+        sim.run(entry="phase1", args=[111])
+        sim.run(entry="phase1", args=[222])   # same region: clobbers A
+        assert sim.run(entry="phase2").value == 222
+
+    def test_base_register_respects_ccm_bound(self):
+        machine = MachineConfig(ccm_bytes=512)
+        sim = Simulator(parse_program(PROCESS), machine)
+        sim.ccm_base = 512
+        with pytest.raises(SimulationError, match="exceeds"):
+            sim.run(entry="phase1", args=[1])
+
+    def test_stats_report_region_relative_usage(self):
+        machine = MachineConfig(ccm_bytes=1024)
+        sim = Simulator(parse_program(PROCESS), machine)
+        sim.ccm_base = 256
+        result = sim.run(entry="phase1", args=[5])
+        assert result.stats.max_ccm_offset == 256 + 3

@@ -1,0 +1,83 @@
+"""Copy-propagation corner cases."""
+
+from repro.analysis import build_ssa
+from repro.ir import Opcode, PhysReg, RegClass, VirtualReg, parse_program
+from repro.opt import copy_propagate
+
+
+def _v(i, rc=RegClass.INT):
+    return VirtualReg(i, rc)
+
+
+class TestCopyProp:
+    def test_chain_resolution(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    mov %v0 => %v1
+    mov %v1 => %v2
+    mov %v2 => %v3
+    addI %v3, 1 => %v4
+    ret %v4
+.endfunc
+""")
+        copy_propagate(prog.entry)
+        add = prog.entry.entry.instructions[3]
+        assert add.srcs == [_v(0)]
+
+    def test_physical_copies_not_propagated(self):
+        """A physical register is not single-assignment; forwarding it
+        past a later definition would be unsound."""
+        prog = parse_program("""
+.program p
+.func main()
+entry:
+    loadI 1 => r1
+    mov r1 => %v0
+    loadI 2 => r1
+    addI %v0, 0 => %v1
+    ret %v1
+.endfunc
+""")
+        copy_propagate(prog.entry)
+        add = prog.entry.entry.instructions[3]
+        assert add.srcs == [_v(0)]  # NOT replaced by r1
+
+    def test_copy_into_physical_not_source(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    mov %v0 => r1
+    ret r1
+.endfunc
+""")
+        # dst is physical: nothing to forward, must not crash
+        copy_propagate(prog.entry)
+
+    def test_float_copies(self):
+        prog = parse_program("""
+.program p
+.func main(%w0)
+entry:
+    fmov %w0 => %w1
+    fadd %w1, %w1 => %w2
+    ret %w2
+.endfunc
+""")
+        copy_propagate(prog.entry)
+        fadd = prog.entry.entry.instructions[1]
+        assert fadd.srcs == [_v(0, RegClass.FLOAT), _v(0, RegClass.FLOAT)]
+
+    def test_returns_rewrite_count(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    mov %v0 => %v1
+    add %v1, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+        assert copy_propagate(prog.entry) == 2

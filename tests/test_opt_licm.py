@@ -1,0 +1,243 @@
+"""Loop-invariant code motion and load-promotion tests."""
+
+import pytest
+
+from conftest import simulate
+
+from repro.analysis import LoopInfo, build_ssa, destroy_ssa
+from repro.frontend import compile_source
+from repro.ir import Opcode, parse_program, verify_program
+from repro.opt import licm, optimize_function
+
+
+def _op_in_loop(fn, opcode):
+    """Count occurrences of ``opcode`` inside any loop body."""
+    loops = LoopInfo(fn)
+    count = 0
+    for block in fn.blocks:
+        if loops.block_depth(block.label) > 0:
+            count += sum(1 for i in block.instructions if i.opcode is opcode)
+    return count
+
+
+def _run_licm(prog, hoist_loads=True):
+    fn = prog.entry
+    build_ssa(fn)
+    moved = licm(fn, hoist_loads=hoist_loads)
+    destroy_ssa(fn)
+    verify_program(prog)
+    return moved
+
+
+class TestPureHoisting:
+    SRC = """
+.program p
+.func main(%v0)
+entry:
+    loadI 0 => %v1
+    loadI 7 => %v2
+    jump -> head
+head:
+    cmp_LT %v1, %v0 => %v3
+    cbr %v3 -> body, exit
+body:
+    multI %v2, 6 => %v4
+    add %v1, %v4 => %v1
+    jump -> head
+exit:
+    ret %v1
+.endfunc
+"""
+
+    def test_invariant_mult_hoisted(self):
+        prog = parse_program(self.SRC)
+        expected = simulate(prog, args=[5]).value if False else None
+        prog = parse_program(self.SRC)
+        moved = _run_licm(prog)
+        assert moved >= 1
+        assert _op_in_loop(prog.entry, Opcode.MULTI) == 0
+
+    def test_semantics_preserved(self):
+        ref = parse_program(self.SRC)
+        from repro.machine import Simulator
+        expected = Simulator(ref).run(args=[5]).value
+        prog = parse_program(self.SRC)
+        _run_licm(prog)
+        from repro.machine import Simulator as S2
+        assert S2(prog).run(args=[5]).value == expected
+
+    def test_zero_trip_loop_still_correct(self):
+        ref = parse_program(self.SRC)
+        from repro.machine import Simulator
+        expected = Simulator(ref).run(args=[0]).value
+        prog = parse_program(self.SRC)
+        _run_licm(prog)
+        assert Simulator(prog).run(args=[0]).value == expected
+
+    def test_variant_computation_not_hoisted(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    loadI 0 => %v1
+    jump -> head
+head:
+    cmp_LT %v1, %v0 => %v2
+    cbr %v2 -> body, exit
+body:
+    multI %v1, 3 => %v3
+    addI %v1, 1 => %v1
+    jump -> head
+exit:
+    ret %v1
+.endfunc
+""")
+        _run_licm(prog)
+        assert _op_in_loop(prog.entry, Opcode.MULTI) == 1
+
+    def test_faulting_div_not_hoisted(self):
+        prog = parse_program("""
+.program p
+.func main(%v0, %v1)
+entry:
+    loadI 0 => %v2
+    loadI 100 => %v3
+    jump -> head
+head:
+    cmp_LT %v2, %v0 => %v4
+    cbr %v4 -> body, exit
+body:
+    div %v3, %v1 => %v5
+    add %v2, %v5 => %v2
+    jump -> head
+exit:
+    ret %v2
+.endfunc
+""")
+        _run_licm(prog)
+        assert _op_in_loop(prog.entry, Opcode.DIV) == 1
+        # a zero-trip run with a zero divisor must not fault
+        from repro.machine import Simulator
+        assert Simulator(prog).run(args=[0, 0]).value == 0
+
+
+class TestLoadPromotion:
+    INVARIANT_LOAD = """
+global T: float[8] = {1.5, 2.5, 3.5}
+func main(n: int): float {
+  var acc: float = 0.0
+  var i: int = 0
+  while (i < n) {
+    acc = acc + T[1]
+    i = i + 1
+  }
+  return acc
+}
+"""
+
+    def test_invariant_load_not_speculated_in_while(self):
+        """A while loop may run zero times, so the body does not
+        dominate the exit: the load must stay put."""
+        prog = compile_source(self.INVARIANT_LOAD)
+        _run_licm(prog)
+        assert _op_in_loop(prog.entry, Opcode.FLOADAI) + \
+            _op_in_loop(prog.entry, Opcode.FLOAD) >= 1
+
+    def test_store_to_same_array_blocks_promotion(self):
+        src = """
+global T: float[8] = {1.0}
+func main(n: int): float {
+  var acc: float = 0.0
+  var i: int = 0
+  while (i < n) {
+    T[0] = acc
+    acc = acc + T[1]
+    i = i + 1
+  }
+  return acc
+}
+"""
+        prog = compile_source(src)
+        _run_licm(prog)
+        loads = _op_in_loop(prog.entry, Opcode.FLOAD) + \
+            _op_in_loop(prog.entry, Opcode.FLOADAI)
+        assert loads >= 1
+
+    def test_semantics_with_loads_and_stores(self):
+        src = """
+global A: float[8] = {1.0, 2.0, 3.0, 4.0}
+global B: float[8]
+func main(n: int): float {
+  var i: int = 0
+  while (i < n) {
+    B[i] = A[2] * 2.0
+    i = i + 1
+  }
+  return B[0] + B[3]
+}
+"""
+        from repro.machine import Simulator
+        expected = Simulator(compile_source(src)).run(args=[4]).value
+        prog = compile_source(src)
+        _run_licm(prog)
+        assert Simulator(prog).run(args=[4]).value == expected
+
+
+class TestPipelineIntegration:
+    def test_enable_licm_preserves_semantics(self):
+        src = """
+global A: float[16] = {1.0, 2.0, 3.0, 4.0}
+func main(): float {
+  var acc: float = 0.0
+  var i: int = 0
+  while (i < 40) {
+    var scale: float = A[1] * 3.0
+    acc = acc + A[i % 4] * scale
+    i = i + 1
+  }
+  return acc
+}
+"""
+        from repro.machine import Simulator
+        expected = Simulator(compile_source(src)).run().value
+        prog = compile_source(src)
+        optimize_function(prog.entry, check=True, enable_licm=True)
+        verify_program(prog)
+        assert Simulator(prog).run().value == pytest.approx(expected)
+
+    def test_licm_raises_pressure(self):
+        """Hoisting lengthens live ranges: the paper's section 2.2
+        effect, visible as at-least-as-much spilling."""
+        lines = ["global A: float[64] = {" +
+                 ", ".join(f"{i + 1.0}" for i in range(64)) + "}",
+                 "func main(n: int): float {",
+                 "  var acc: float = 0.0",
+                 "  var i: int = 0",
+                 "  var j: int = 0",
+                 "  for (j = 0; j < 2; j = j + 1) {",
+                 "  for (i = 0; i < n; i = i + 1) {"]
+        # 30 invariant pure expressions inside the inner loop
+        for k in range(30):
+            lines.append(f"    var c{k}: float = A[{k}] * {k + 2}.0")
+        lines.append("    acc = acc + " +
+                     " + ".join(f"c{k}" for k in range(30)))
+        lines += ["  }", "  }", "  return acc", "}"]
+        src = "\n".join(lines)
+
+        from repro.machine import PAPER_MACHINE_512, Simulator
+        from repro.regalloc import allocate_function, lower_calling_convention
+
+        def spills(enable):
+            prog = compile_source(src)
+            optimize_function(prog.entry, enable_licm=enable)
+            lower_calling_convention(prog.entry, PAPER_MACHINE_512)
+            return len(allocate_function(prog.entry,
+                                         PAPER_MACHINE_512).spilled), prog
+
+        without, _ = spills(False)
+        with_licm, prog = spills(True)
+        assert with_licm >= without
+        result = Simulator(prog, PAPER_MACHINE_512,
+                           poison_caller_saved=True).run(args=[5])
+        ref = Simulator(compile_source(src)).run(args=[5]).value
+        assert result.value == pytest.approx(ref)

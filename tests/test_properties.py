@@ -1,0 +1,164 @@
+"""Property-based differential tests.
+
+The strongest correctness argument in the repository: generate random
+MFL kernels, compile them under every allocator variant (baseline /
+post-pass intra / post-pass interprocedural / integrated CCM) and on a
+register-starved machine, and require bit-identical results with the
+unoptimized reference execution.  Any soundness bug in SSA, the
+optimizer, the allocator, or the CCM promotion shows up as a value
+mismatch here.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.harness.experiment import compile_program
+from repro.ir import verify_program
+from repro.machine import MachineConfig, PAPER_MACHINE_512, Simulator
+
+
+# -- random-kernel generator -----------------------------------------------------
+
+@st.composite
+def mfl_kernels(draw):
+    """A random straight-ish MFL kernel with loops, pressure, and calls."""
+    n_vals = draw(st.integers(4, 40))
+    loop_iters = draw(st.integers(1, 12))
+    use_loop = draw(st.booleans())
+    use_call = draw(st.booleans())
+    use_branch = draw(st.booleans())
+    seeds = draw(st.lists(st.integers(1, 9), min_size=n_vals,
+                          max_size=n_vals))
+    pair_ops = draw(st.lists(st.sampled_from(["+", "-", "*"]),
+                             min_size=n_vals, max_size=n_vals))
+
+    lines = ["global D: float[16] = {" +
+             ", ".join(f"{(i % 5) + 1.0}" for i in range(16)) + "}"]
+    if use_call:
+        lines.append("func leaf(x: float): float { return x * 0.5 + 1.0 }")
+    lines.append("func main(): float {")
+    lines.append("  var acc: float = 0.0")
+    for i, s in enumerate(seeds):
+        lines.append(f"  var t{i}: float = D[{(i * s) % 16}] * {s}.0")
+    if use_loop:
+        lines.append("  var i: int = 0")
+        lines.append(f"  while (i < {loop_iters}) {{")
+    body_indent = "    " if use_loop else "  "
+    if use_branch:
+        lines.append(f"{body_indent}if (acc < 1000000.0) {{")
+        lines.append(f"{body_indent}  acc = acc * 0.5")
+        lines.append(f"{body_indent}}} else {{")
+        lines.append(f"{body_indent}  acc = acc * 0.25")
+        lines.append(f"{body_indent}}}")
+    expr = f"t0"
+    for i in range(1, n_vals):
+        expr += f" {pair_ops[i]} t{i} * 0.125"
+    lines.append(f"{body_indent}acc = acc + {expr}")
+    if use_call:
+        lines.append(f"{body_indent}acc = leaf(acc)")
+    if use_loop:
+        lines.append("    i = i + 1")
+        lines.append("  }")
+    lines.append("  return acc")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _reference(source: str) -> float:
+    return Simulator(compile_source(source)).run().value
+
+
+def _run_variant(source: str, variant: str, machine) -> float:
+    prog = compile_source(source)
+    compile_program(prog, machine, variant)
+    verify_program(prog)
+    return Simulator(prog, machine, poison_caller_saved=True).run().value
+
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestDifferentialCompilation:
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_baseline_matches_reference(self, source):
+        assert _run_variant(source, "baseline", PAPER_MACHINE_512) == \
+            pytest.approx(_reference(source), rel=1e-9)
+
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_postpass_matches_reference(self, source):
+        assert _run_variant(source, "postpass", PAPER_MACHINE_512) == \
+            pytest.approx(_reference(source), rel=1e-9)
+
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_postpass_cg_matches_reference(self, source):
+        assert _run_variant(source, "postpass_cg", PAPER_MACHINE_512) == \
+            pytest.approx(_reference(source), rel=1e-9)
+
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_integrated_matches_reference(self, source):
+        assert _run_variant(source, "integrated", PAPER_MACHINE_512) == \
+            pytest.approx(_reference(source), rel=1e-9)
+
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_register_starved_machine(self, source):
+        """8 registers per class: nearly everything spills; the CCM is
+        tiny so promotion and heavyweight fallback interleave."""
+        machine = MachineConfig(n_int_regs=8, n_float_regs=8, n_args=2,
+                                callee_saved_start=7, ccm_bytes=64)
+        assert _run_variant(source, "integrated", machine) == \
+            pytest.approx(_reference(source), rel=1e-9)
+
+
+class TestCcmInvariants:
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_ccm_bound_respected(self, source):
+        machine = MachineConfig(n_int_regs=8, n_float_regs=8, n_args=2,
+                                callee_saved_start=7, ccm_bytes=64)
+        prog = compile_source(source)
+        compile_program(prog, machine, "postpass_cg")
+        stats = Simulator(prog, machine,
+                          poison_caller_saved=True).run().stats
+        assert stats.max_ccm_offset < 64
+
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_ccm_never_adds_cycles(self, source):
+        base_prog = compile_source(source)
+        compile_program(base_prog, PAPER_MACHINE_512, "baseline")
+        base = Simulator(base_prog, PAPER_MACHINE_512).run().stats
+
+        ccm_prog = compile_source(source)
+        compile_program(ccm_prog, PAPER_MACHINE_512, "postpass_cg")
+        ccm = Simulator(ccm_prog, PAPER_MACHINE_512).run().stats
+        assert ccm.cycles <= base.cycles
+        # promotion only retargets existing instructions, never adds any
+        assert ccm.instructions == base.instructions
+
+
+class TestCompactionInvariant:
+    @given(mfl_kernels())
+    @_SETTINGS
+    def test_compaction_never_grows_and_preserves_value(self, source):
+        from repro.ccm import compact_spill_memory
+
+        machine = MachineConfig(n_int_regs=8, n_float_regs=8, n_args=2,
+                                callee_saved_start=7)
+        prog = compile_source(source)
+        compile_program(prog, machine, "baseline")
+        expected = Simulator(prog, machine,
+                             poison_caller_saved=True).run().value
+        for fn in prog.functions.values():
+            result = compact_spill_memory(fn)
+            assert result.bytes_after <= result.bytes_before
+        got = Simulator(prog, machine, poison_caller_saved=True).run().value
+        assert got == pytest.approx(expected, rel=1e-12)

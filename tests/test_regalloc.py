@@ -1,0 +1,311 @@
+"""Register-allocator tests: interference, coalescing, coloring, spilling,
+and calling-convention lowering.  Every coloring is validated against the
+interference graph, and semantics are re-checked in the simulator."""
+
+import pytest
+
+from conftest import assert_close, build_loop_sum_program, simulate
+
+from repro.analysis import values_live_across_calls
+from repro.frontend import compile_source
+from repro.ir import (Opcode, PhysReg, RegClass, VirtualReg,
+                      check_no_virtual_registers, parse_function,
+                      parse_program, verify_program)
+from repro.machine import MachineConfig, PAPER_MACHINE_512, Simulator
+from repro.regalloc import (AllocationError, ConventionError,
+                            allocate_function, build_interference_graph,
+                            compute_spill_costs, lower_calling_convention)
+
+
+def _v(i, rc=RegClass.INT):
+    return VirtualReg(i, rc)
+
+
+class TestInterferenceGraph:
+    def test_simultaneously_live_interfere(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    loadI 2 => %v1
+    add %v0, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+        graph = build_interference_graph(fn, PAPER_MACHINE_512)
+        assert graph.interferes(_v(0), _v(1))
+
+    def test_disjoint_lifetimes_do_not_interfere(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    addI %v0, 1 => %v1
+    addI %v1, 1 => %v2
+    ret %v2
+.endfunc
+""")
+        graph = build_interference_graph(fn, PAPER_MACHINE_512)
+        assert not graph.interferes(_v(0), _v(2))
+
+    def test_move_source_exempt(self):
+        """Chaitin's exception: a copy does not interfere with its source."""
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    mov %v0 => %v1
+    add %v0, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+        graph = build_interference_graph(fn, PAPER_MACHINE_512)
+        assert not graph.interferes(_v(0), _v(1))
+        assert (min(_v(0), _v(1), key=repr), max(_v(0), _v(1), key=repr)) \
+            in graph.moves or graph.moves
+
+    def test_cross_class_never_interferes(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    loadFI 1.0 => %w1
+    i2f %v0 => %w2
+    fadd %w1, %w2 => %w3
+    ret %w3
+.endfunc
+""")
+        graph = build_interference_graph(fn, PAPER_MACHINE_512)
+        assert not graph.interferes(_v(0), _v(1, RegClass.FLOAT))
+
+    def test_call_clobbers_caller_saved(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    call g()
+    addI %v0, 1 => %v1
+    ret %v1
+.endfunc
+""")
+        machine = PAPER_MACHINE_512
+        graph = build_interference_graph(fn, machine)
+        for phys in machine.caller_saved(RegClass.INT):
+            assert graph.interferes(_v(0), phys)
+
+    def test_params_interfere_pairwise(self):
+        fn = parse_function("""
+.func f(%v0, %v1)
+entry:
+    add %v0, %v1 => %v2
+    ret %v2
+.endfunc
+""")
+        graph = build_interference_graph(fn, PAPER_MACHINE_512)
+        assert graph.interferes(_v(0), _v(1))
+
+
+class TestSpillCosts:
+    def test_loop_uses_weighted(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    loadI 0 => %v1
+    loadI 9 => %v2
+    jump -> head
+head:
+    cmp_LT %v1, %v0 => %v3
+    cbr %v3 -> body, exit
+body:
+    add %v1, %v2 => %v1
+    jump -> head
+exit:
+    ret %v1
+.endfunc
+""")
+        costs = compute_spill_costs(fn)
+        # %v2: one def at depth 0, one use at depth 1
+        assert costs[_v(2)] == pytest.approx(1 + 10)
+
+    def test_no_spill_marked_infinite(self):
+        fn = parse_function("""
+.func f()
+entry:
+    loadI 1 => %v0
+    ret %v0
+.endfunc
+""")
+        costs = compute_spill_costs(fn, no_spill={_v(0)})
+        assert costs[_v(0)] == float("inf")
+
+
+def _assert_valid_coloring(fn, machine):
+    """Post-allocation sanity: only physical registers remain, and the
+    number simultaneously live never exceeds the register file."""
+    from repro.analysis import compute_liveness
+
+    check_no_virtual_registers(fn)
+    live = compute_liveness(fn)
+    for block in fn.blocks:
+        for _, instr, after in live.live_across_instructions(block.label):
+            for rclass in (RegClass.INT, RegClass.FLOAT):
+                live_in_class = [r for r in after if r.rclass is rclass]
+                assert len(live_in_class) <= machine.n_regs(rclass)
+
+
+class TestAllocation:
+    def test_simple_function_no_spills(self):
+        prog = build_loop_sum_program()
+        expected = simulate(prog).value
+        result = allocate_function(prog.entry, PAPER_MACHINE_512)
+        assert result.spilled == []
+        _assert_valid_coloring(prog.entry, PAPER_MACHINE_512)
+        assert simulate(prog).value == expected
+
+    def test_constants_rematerialized_not_spilled(self):
+        """Briggs rematerialization: the loop bound and array base are
+        constant loads, so pressure recomputes them instead of spilling."""
+        prog = build_loop_sum_program()
+        expected = simulate(prog).value
+        machine = MachineConfig(n_int_regs=4, n_float_regs=4, n_args=2,
+                                callee_saved_start=4)
+        result = allocate_function(prog.entry, machine)
+        assert result.rematerialized
+        assert result.spilled == []
+        verify_program(prog)
+        assert simulate(prog, machine).value == expected
+
+    def test_forced_spilling_on_tiny_machine(self):
+        prog = build_loop_sum_program()
+        expected = simulate(prog).value
+        machine = MachineConfig(n_int_regs=4, n_float_regs=4, n_args=2,
+                                callee_saved_start=4)
+        result = allocate_function(prog.entry, machine,
+                                   rematerialize=False)
+        assert result.spilled  # 4 registers cannot hold the loop state
+        assert prog.entry.frame_size > 0
+        verify_program(prog)
+        assert simulate(prog, machine).value == expected
+
+    def test_spill_code_uses_spill_opcodes(self):
+        prog = build_loop_sum_program()
+        machine = MachineConfig(n_int_regs=4, n_float_regs=4, n_args=2,
+                                callee_saved_start=4)
+        allocate_function(prog.entry, machine, rematerialize=False)
+        ops = {i.opcode for _, i in prog.entry.instructions()}
+        assert Opcode.SPILL in ops and Opcode.RELOAD in ops
+
+    def test_remat_cheaper_than_spilling(self):
+        prog_spill = build_loop_sum_program()
+        prog_remat = build_loop_sum_program()
+        machine = MachineConfig(n_int_regs=4, n_float_regs=4, n_args=2,
+                                callee_saved_start=4)
+        allocate_function(prog_spill.entry, machine, rematerialize=False)
+        allocate_function(prog_remat.entry, machine)
+        assert simulate(prog_remat, machine).stats.cycles < \
+            simulate(prog_spill, machine).stats.cycles
+
+    def test_coalescing_removes_copies(self):
+        fn = parse_function("""
+.func f(%v0)
+entry:
+    mov %v0 => %v1
+    mov %v1 => %v2
+    addI %v2, 1 => %v3
+    ret %v3
+.endfunc
+""")
+        result = allocate_function(fn, PAPER_MACHINE_512)
+        assert result.coalesced >= 2
+        moves = sum(1 for _, i in fn.instructions() if i.is_move)
+        assert moves == 0
+
+    def test_rounds_bounded(self):
+        prog = build_loop_sum_program()
+        result = allocate_function(prog.entry, PAPER_MACHINE_512)
+        assert result.rounds <= 3
+
+
+class TestConventionLowering:
+    SRC = """
+global OUT: float[4]
+func helper(a: float, b: int): float {
+  return a * float(b)
+}
+func main(): float {
+  var x: float = helper(2.5, 4)
+  OUT[0] = x
+  return x
+}
+"""
+
+    def test_args_in_convention_registers(self):
+        prog = compile_source(self.SRC)
+        machine = PAPER_MACHINE_512
+        fn = prog.functions["helper"]
+        lower_calling_convention(fn, machine)
+        assert fn.params == [PhysReg(1, RegClass.FLOAT),
+                             PhysReg(1, RegClass.INT)]
+
+    def test_semantics_preserved(self):
+        prog = compile_source(self.SRC)
+        expected = simulate(prog).value
+        machine = PAPER_MACHINE_512
+        for fn in prog.functions.values():
+            lower_calling_convention(fn, machine)
+            allocate_function(fn, machine)
+        verify_program(prog)
+        result = simulate(prog, poison_caller_saved=True)
+        assert_close(result.value, expected)
+        assert result.value == 10.0
+
+    def test_too_many_args_rejected(self):
+        args = ", ".join(f"a{i}: int" for i in range(9))
+        src = (f"func wide({args}): int {{ return a0 }}\n"
+               "func main(): int { return wide(1,2,3,4,5,6,7,8,9) }")
+        prog = compile_source(src)
+        with pytest.raises(ConventionError):
+            lower_calling_convention(prog.functions["wide"],
+                                     PAPER_MACHINE_512)
+
+    def test_value_live_across_call_survives(self):
+        src = """
+func leaf(x: int): int { return x + 1 }
+func main(): int {
+  var keep: int = 100
+  var a: int = leaf(1)
+  var b: int = leaf(2)
+  return keep + a + b
+}
+"""
+        prog = compile_source(src)
+        machine = PAPER_MACHINE_512
+        for fn in prog.functions.values():
+            lower_calling_convention(fn, machine)
+            allocate_function(fn, machine)
+        result = simulate(prog, poison_caller_saved=True)
+        assert result.value == 105
+
+
+class TestStress:
+    def test_deep_pressure_many_classes(self):
+        """60 float + 20 int simultaneously-live values on the paper
+        machine: must spill, must stay correct."""
+        lines = ["func main(): float {"]
+        for i in range(60):
+            lines.append(f"  var f{i}: float = {i}.5")
+        for i in range(20):
+            lines.append(f"  var n{i}: int = {i}")
+        acc = " + ".join(f"f{i}" for i in range(60))
+        iacc = " + ".join(f"n{i}" for i in range(20))
+        lines.append(f"  return {acc} + float({iacc})")
+        lines.append("}")
+        prog = compile_source("\n".join(lines))
+        expected = simulate(prog).value
+        machine = PAPER_MACHINE_512
+        fn = prog.entry
+        lower_calling_convention(fn, machine)
+        result = allocate_function(fn, machine)
+        assert result.spilled
+        _assert_valid_coloring(fn, machine)
+        assert_close(simulate(prog, poison_caller_saved=True).value, expected)

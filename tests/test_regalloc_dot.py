@@ -1,0 +1,66 @@
+"""Tests for the interference-graph dot export."""
+
+from repro.ccm import CcmGraphHook
+from repro.ir import parse_function
+from repro.machine import PAPER_MACHINE_512
+from repro.regalloc import build_interference_graph, to_dot
+
+
+def _graph(text, hook=None):
+    return build_interference_graph(parse_function(text),
+                                    PAPER_MACHINE_512, hook)
+
+
+SIMPLE = """
+.func f()
+entry:
+    loadI 1 => %v0
+    loadI 2 => %v1
+    mov %v0 => %v2
+    add %v1, %v2 => %v3
+    ret %v3
+.endfunc
+"""
+
+
+class TestDotExport:
+    def test_valid_dot_structure(self):
+        dot = to_dot(_graph(SIMPLE))
+        assert dot.startswith("graph interference {")
+        assert dot.endswith("}")
+
+    def test_interference_edges_present(self):
+        dot = to_dot(_graph(SIMPLE))
+        assert '"%v0" -- "%v1"' in dot or '"%v1" -- "%v0"' in dot
+
+    def test_move_edges_dashed(self):
+        dot = to_dot(_graph(SIMPLE))
+        assert "style=dashed" in dot
+
+    def test_pseudo_nodes_boxed(self):
+        dot = to_dot(_graph("""
+.func f()
+entry:
+    loadI 9 => %v0
+    loadI 1 => %v1
+    ccmst %v1 => [0]
+    ccmld [0] => %v2
+    add %v0, %v2 => %v3
+    ret %v3
+.endfunc
+""", CcmGraphHook()))
+        assert "shape=box" in dot
+
+    def test_truncation(self):
+        lines = ["\n.func f()", "entry:"]
+        for i in range(50):
+            lines.append(f"    loadI {i} => %v{i}")
+        acc = "%v0"
+        for i in range(1, 50):
+            lines.append(f"    add {acc}, %v{i} => %v{50 + i}")
+            acc = f"%v{50 + i}"
+        lines.append(f"    ret {acc}")
+        lines.append(".endfunc")
+        dot = to_dot(_graph("\n".join(lines)), max_nodes=10)
+        node_lines = [l for l in dot.splitlines() if "shape=" in l]
+        assert len(node_lines) <= 10

@@ -1,0 +1,245 @@
+"""List-scheduler and pipelined-load machine-model tests."""
+
+import pytest
+
+from conftest import assert_close, simulate
+
+from repro.frontend import compile_source
+from repro.harness.experiment import compile_program
+from repro.ir import Opcode, parse_program, verify_program
+from repro.machine import MachineConfig, Simulator
+from repro.schedule import schedule_block, schedule_function, schedule_program
+
+PIPELINED = MachineConfig(pipelined_loads=True)
+IN_ORDER = MachineConfig()
+
+
+class TestPipelinedModel:
+    LOAD_THEN_USE = """
+.program p
+.global A 8 int = 5,7
+.func main()
+entry:
+    loadG @A => %v0
+    load %v0 => %v1
+    addI %v1, 1 => %v2
+    ret %v2
+.endfunc
+"""
+
+    LOAD_THEN_GAP = """
+.program p
+.global A 8 int = 5,7
+.func main()
+entry:
+    loadG @A => %v0
+    load %v0 => %v1
+    loadI 100 => %v3
+    addI %v1, 1 => %v2
+    ret %v2
+.endfunc
+"""
+
+    def test_dependent_use_stalls(self):
+        result = simulate(parse_program(self.LOAD_THEN_USE), PIPELINED)
+        assert result.value == 6
+        assert result.stats.stall_cycles == 1
+
+    def test_independent_gap_hides_latency(self):
+        result = simulate(parse_program(self.LOAD_THEN_GAP), PIPELINED)
+        assert result.value == 6
+        assert result.stats.stall_cycles == 0
+
+    def test_total_cycles_match_unpipelined_when_dependent(self):
+        pipelined = simulate(parse_program(self.LOAD_THEN_USE), PIPELINED)
+        in_order = simulate(parse_program(self.LOAD_THEN_USE), IN_ORDER)
+        assert pipelined.stats.cycles == in_order.stats.cycles
+
+    def test_redefinition_clears_pending(self):
+        result = simulate(parse_program("""
+.program p
+.global A 8 int = 5
+.func main()
+entry:
+    loadG @A => %v0
+    load %v0 => %v1
+    loadI 9 => %v1
+    addI %v1, 1 => %v2
+    ret %v2
+.endfunc
+"""), PIPELINED)
+        assert result.value == 10
+        assert result.stats.stall_cycles == 0
+
+    def test_ccm_loads_never_stall(self):
+        result = simulate(parse_program("""
+.program p
+.func main()
+entry:
+    loadI 3 => %v0
+    ccmst %v0 => [0]
+    ccmld [0] => %v1
+    addI %v1, 1 => %v2
+    ret %v2
+.endfunc
+"""), PIPELINED)
+        assert result.stats.stall_cycles == 0
+
+
+class TestScheduler:
+    def test_terminator_stays_last(self):
+        prog = parse_program(TestPipelinedModel.LOAD_THEN_USE)
+        schedule_function(prog.entry, PIPELINED)
+        verify_program(prog)
+        assert prog.entry.entry.instructions[-1].opcode is Opcode.RET
+
+    def test_fills_delay_slot(self):
+        """An independent loadI should move between the load and its use."""
+        prog = parse_program("""
+.program p
+.global A 8 int = 5,7
+.func main()
+entry:
+    loadG @A => %v0
+    load %v0 => %v1
+    addI %v1, 1 => %v2
+    loadI 100 => %v3
+    add %v2, %v3 => %v4
+    ret %v4
+.endfunc
+""")
+        before = simulate(parse_program("""
+.program p
+.global A 8 int = 5,7
+.func main()
+entry:
+    loadG @A => %v0
+    load %v0 => %v1
+    addI %v1, 1 => %v2
+    loadI 100 => %v3
+    add %v2, %v3 => %v4
+    ret %v4
+.endfunc
+"""), PIPELINED)
+        schedule_function(prog.entry, PIPELINED)
+        verify_program(prog)
+        after = simulate(prog, PIPELINED)
+        assert after.value == before.value == 106
+        assert after.stats.stall_cycles < before.stats.stall_cycles
+
+    def test_memory_order_preserved(self):
+        """Store then load of the same location must not swap."""
+        text = """
+.program p
+.global A 8 int = 1
+.func main()
+entry:
+    loadG @A => %v0
+    loadI 42 => %v1
+    store %v1, %v0
+    load %v0 => %v2
+    ret %v2
+.endfunc
+"""
+        prog = parse_program(text)
+        schedule_function(prog.entry, PIPELINED)
+        assert simulate(prog, PIPELINED).value == 42
+
+    def test_spill_slots_disambiguated(self):
+        """Accesses to different spill offsets may reorder; results agree."""
+        text = """
+.program p
+.func main()
+entry:
+    loadI 1 => %v0
+    loadI 2 => %v1
+    spill %v0 => [0]
+    spill %v1 => [4]
+    reload [0] => %v2
+    reload [4] => %v3
+    multI %v3, 10 => %v4
+    add %v2, %v4 => %v5
+    ret %v5
+.endfunc
+"""
+        prog = parse_program(text)
+        prog.entry.frame_size = 8
+        schedule_function(prog.entry, PIPELINED)
+        assert simulate(prog, PIPELINED).value == 21
+
+    def test_call_is_barrier(self):
+        text = """
+.program p
+.global A 4 int = 0
+.func poke()
+entry:
+    loadG @A => %v0
+    loadI 7 => %v1
+    store %v1, %v0
+    ret
+.endfunc
+.func main()
+entry:
+    loadG @A => %v0
+    call poke()
+    load %v0 => %v1
+    ret %v1
+.endfunc
+"""
+        prog = parse_program(text)
+        schedule_program(prog, PIPELINED)
+        assert simulate(prog, PIPELINED).value == 7
+
+    def test_schedule_block_is_permutation(self):
+        prog = parse_program(TestPipelinedModel.LOAD_THEN_GAP)
+        block = prog.entry.entry
+        new_order = schedule_block(block.instructions, PIPELINED)
+        assert sorted(map(id, new_order)) == \
+            sorted(map(id, block.instructions))
+
+
+class TestEndToEnd:
+    SRC = """
+global A: float[64] = {%s}
+func main(): float {
+  var acc: float = 0.0
+  var i: int = 0
+  while (i < 50) {
+    acc = acc + A[i] * A[i + 8] + A[i + 1] * A[i + 9]
+    i = i + 1
+  }
+  return acc
+}
+""" % ", ".join(f"{(i % 7) + 0.5}" for i in range(64))
+
+    def test_scheduling_reduces_stalls_on_compiled_code(self):
+        reference = simulate(compile_source(self.SRC)).value
+
+        def build():
+            prog = compile_source(self.SRC)
+            compile_program(prog, PIPELINED, "baseline")
+            return prog
+
+        unscheduled = build()
+        before = Simulator(unscheduled, PIPELINED,
+                           poison_caller_saved=True).run()
+
+        scheduled = build()
+        schedule_program(scheduled, PIPELINED)
+        verify_program(scheduled)
+        after = Simulator(scheduled, PIPELINED,
+                          poison_caller_saved=True).run()
+
+        assert_close(before.value, reference)
+        assert_close(after.value, reference)
+        assert after.stats.stall_cycles <= before.stats.stall_cycles
+        assert after.stats.cycles <= before.stats.cycles
+
+    def test_scheduling_composes_with_ccm(self):
+        reference = simulate(compile_source(self.SRC)).value
+        prog = compile_source(self.SRC)
+        compile_program(prog, PIPELINED, "postpass_cg")
+        schedule_program(prog, PIPELINED)
+        verify_program(prog)
+        result = Simulator(prog, PIPELINED, poison_caller_saved=True).run()
+        assert_close(result.value, reference)

@@ -1,0 +1,111 @@
+"""Property-based tests for the list scheduler: any legal input block
+must be reordered into a semantically identical permutation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import (Instruction, Opcode, Program, RegClass, VirtualReg,
+                      parse_program, verify_program)
+from repro.machine import MachineConfig, Simulator
+from repro.schedule import schedule_block, schedule_function
+
+PIPELINED = MachineConfig(pipelined_loads=True)
+
+
+@st.composite
+def straight_line_programs(draw):
+    """A random straight-line function mixing arithmetic, spill-slot
+    traffic, CCM traffic, and main-memory accesses."""
+    n = draw(st.integers(3, 25))
+    lines = [".program p", ".global G 64 int = " +
+             ",".join(str((i * 3) % 11 + 1) for i in range(16)),
+             ".func main()", "entry:",
+             "    loadI 1 => %v0",
+             "    loadG @G => %v1"]
+    defined = ["%v0", "%v1"]
+    next_reg = 2
+    spill_offsets: list = []
+    ccm_offsets: list = []
+    for _ in range(n):
+        kind = draw(st.integers(0, 6))
+        if kind == 0:
+            lines.append(f"    loadI {draw(st.integers(-9, 9))} "
+                         f"=> %v{next_reg}")
+        elif kind == 1:
+            a = draw(st.sampled_from(defined))
+            b = draw(st.sampled_from(defined))
+            op = draw(st.sampled_from(["add", "sub", "mult", "and", "or"]))
+            lines.append(f"    {op} {a}, {b} => %v{next_reg}")
+        elif kind == 2:
+            src = draw(st.sampled_from(defined))
+            offset = draw(st.sampled_from([0, 4, 8, 12]))
+            lines.append(f"    spill {src} => [{offset}]")
+            spill_offsets.append(offset)
+            next_reg -= 1  # no new register
+        elif kind == 3 and spill_offsets:
+            offset = draw(st.sampled_from(spill_offsets))
+            lines.append(f"    reload [{offset}] => %v{next_reg}")
+        elif kind == 4:
+            src = draw(st.sampled_from(defined))
+            offset = draw(st.sampled_from([0, 4, 8]))
+            lines.append(f"    ccmst {src} => [{offset}]")
+            ccm_offsets.append(offset)
+            next_reg -= 1
+        elif kind == 5 and ccm_offsets:
+            offset = draw(st.sampled_from(ccm_offsets))
+            lines.append(f"    ccmld [{offset}] => %v{next_reg}")
+        else:
+            base = draw(st.integers(0, 12)) * 4
+            lines.append(f"    loadAI %v1, {base} => %v{next_reg}")
+        if lines[-1].split("=>")[-1].strip().startswith("%v") and \
+                "spill" not in lines[-1] and "ccmst" not in lines[-1]:
+            defined.append(f"%v{next_reg}")
+            next_reg += 1
+        else:
+            next_reg += 1
+    # checksum: combine the last few defined registers
+    acc = defined[-1]
+    for reg in defined[-4:-1]:
+        lines.append(f"    add {acc}, {reg} => %v{next_reg}")
+        acc = f"%v{next_reg}"
+        next_reg += 1
+    lines.append(f"    ret {acc}")
+    lines.append(".endfunc")
+    return "\n".join(lines)
+
+
+def _run(text: str, scheduled: bool):
+    prog = parse_program(text)
+    prog.entry.frame_size = 16
+    if scheduled:
+        schedule_function(prog.entry, PIPELINED)
+        verify_program(prog)
+    return Simulator(prog, PIPELINED).run()
+
+
+_SETTINGS = settings(max_examples=120, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSchedulerProperties:
+    @given(straight_line_programs())
+    @_SETTINGS
+    def test_scheduling_preserves_value(self, text):
+        assert _run(text, True).value == _run(text, False).value
+
+    @given(straight_line_programs())
+    @_SETTINGS
+    def test_scheduling_is_permutation(self, text):
+        prog = parse_program(text)
+        block = prog.entry.entry
+        original = list(block.instructions)
+        reordered = schedule_block(original, PIPELINED)
+        assert sorted(map(id, reordered)) == sorted(map(id, original))
+
+    @given(straight_line_programs())
+    @_SETTINGS
+    def test_scheduling_never_adds_stalls(self, text):
+        before = _run(text, False).stats
+        after = _run(text, True).stats
+        assert after.stall_cycles <= before.stall_cycles
+        assert after.cycles <= before.cycles

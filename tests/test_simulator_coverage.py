@@ -1,0 +1,224 @@
+"""Additional simulator semantics coverage: every opcode family."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.machine import Simulator
+
+
+def run(body: str, globals_: str = ""):
+    text = f""".program p
+{globals_}
+.func main()
+entry:
+{body}
+.endfunc
+"""
+    return Simulator(parse_program(text)).run().value
+
+
+class TestBitwiseOps:
+    def test_and_or_xor(self):
+        assert run("""
+    loadI 12 => %v0
+    loadI 10 => %v1
+    and %v0, %v1 => %v2
+    or %v0, %v1 => %v3
+    xor %v0, %v1 => %v4
+    multI %v2, 10000 => %v5
+    multI %v3, 100 => %v6
+    add %v5, %v6 => %v7
+    add %v7, %v4 => %v8
+    ret %v8
+""") == (12 & 10) * 10000 + (12 | 10) * 100 + (12 ^ 10)
+
+    def test_not(self):
+        assert run("""
+    loadI 5 => %v0
+    not %v0 => %v1
+    ret %v1
+""") == ~5
+
+    def test_shifts(self):
+        assert run("""
+    loadI 3 => %v0
+    loadI 4 => %v1
+    lshift %v0, %v1 => %v2
+    rshift %v2, %v1 => %v3
+    add %v2, %v3 => %v4
+    ret %v4
+""") == (3 << 4) + 3
+
+    def test_immediate_forms(self):
+        assert run("""
+    loadI 7 => %v0
+    andI %v0, 3 => %v1
+    orI %v1, 8 => %v2
+    xorI %v2, 1 => %v3
+    lshiftI %v3, 2 => %v4
+    rshiftI %v4, 1 => %v5
+    ret %v5
+""") == ((((7 & 3) | 8) ^ 1) << 2) >> 1
+
+
+class TestFloatOps:
+    def test_fsub_fneg(self):
+        assert run("""
+    loadFI 5.5 => %w0
+    loadFI 2.0 => %w1
+    fsub %w0, %w1 => %w2
+    fneg %w2 => %w3
+    ret %w3
+""") == -3.5
+
+    def test_float_comparisons(self):
+        assert run("""
+    loadFI 1.5 => %w0
+    loadFI 2.5 => %w1
+    fcmp_LE %w0, %w1 => %v0
+    fcmp_GE %w0, %w1 => %v1
+    fcmp_NE %w0, %w1 => %v2
+    multI %v0, 100 => %v3
+    multI %v1, 10 => %v4
+    add %v3, %v4 => %v5
+    add %v5, %v2 => %v6
+    ret %v6
+""") == 101
+
+    def test_fdiv(self):
+        assert run("""
+    loadFI 7.0 => %w0
+    loadFI 2.0 => %w1
+    fdiv %w0, %w1 => %w2
+    ret %w2
+""") == 3.5
+
+
+class TestMemoryAddressing:
+    GLOBALS = ".global A 16 int = 10,20,30,40"
+
+    def test_loadai_offsets(self):
+        assert run("""
+    loadG @A => %v0
+    loadAI %v0, 8 => %v1
+    ret %v1
+""", self.GLOBALS) == 30
+
+    def test_storeai_then_load(self):
+        assert run("""
+    loadG @A => %v0
+    loadI 99 => %v1
+    storeAI %v1, %v0, 12
+    loadAI %v0, 12 => %v2
+    ret %v2
+""", self.GLOBALS) == 99
+
+    def test_two_globals_disjoint(self):
+        value = run("""
+    loadG @A => %v0
+    loadG @B => %v1
+    loadI 7 => %v2
+    store %v2, %v0
+    load %v1 => %v3
+    ret %v3
+""", ".global A 8 int = 1,2\n.global B 8 int = 3,4")
+        assert value == 3
+
+    def test_float_array(self):
+        assert run("""
+    loadG @F => %v0
+    floadAI %v0, 8 => %w0
+    loadFI 0.25 => %w1
+    fadd %w0, %w1 => %w2
+    ret %w2
+""", ".global F 16 float = 1.5,2.5") == 2.75
+
+
+class TestControlFlowShapes:
+    def test_nested_branches(self):
+        assert run("""
+    loadI 5 => %v0
+    loadI 3 => %v1
+    cmp_GT %v0, %v1 => %v2
+    cbr %v2 -> a, b
+a:
+    cmp_LT %v0, %v1 => %v3
+    cbr %v3 -> b, c
+b:
+    loadI 111 => %v4
+    ret %v4
+c:
+    loadI 222 => %v4
+    ret %v4
+""") == 222
+
+    def test_halt_terminates(self):
+        result = Simulator(parse_program("""
+.program p
+.func main()
+entry:
+    loadI 1 => %v0
+    halt
+.endfunc
+""")).run()
+        assert result.value is None
+
+    def test_countdown_loop(self):
+        assert run("""
+    loadI 10 => %v0
+    loadI 0 => %v1
+    jump -> head
+head:
+    cmp_GT %v0, %v1 => %v2
+    cbr %v2 -> body, exit
+body:
+    subI %v0, 1 => %v0
+    jump -> head
+exit:
+    ret %v0
+""") == 0
+
+
+class TestStatsDetail:
+    def test_load_store_counters(self):
+        prog = parse_program("""
+.program p
+.global A 8 int = 1,2
+.func main()
+entry:
+    loadG @A => %v0
+    load %v0 => %v1
+    loadAI %v0, 4 => %v2
+    store %v1, %v0
+    ret %v1
+.endfunc
+""")
+        stats = Simulator(prog).run().stats
+        assert stats.loads == 2
+        assert stats.stores == 1
+
+    def test_call_counter(self):
+        prog = parse_program("""
+.program p
+.func f()
+entry:
+    ret
+.endfunc
+.func main()
+entry:
+    call f()
+    call f()
+    ret
+.endfunc
+""")
+        assert Simulator(prog).run().stats.calls == 2
+
+    def test_max_ccm_offset_unset_without_ccm(self):
+        prog = parse_program("""
+.program p
+.func main()
+entry:
+    ret
+.endfunc
+""")
+        assert Simulator(prog).run().stats.max_ccm_offset == -1

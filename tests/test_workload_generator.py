@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic-kernel generator itself."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import verify_program
+from repro.machine import Simulator
+from repro.workloads import (RoutineProfile, generate_kernel_source,
+                             generate_program_source,
+                             generate_routine_source)
+
+
+def _profile(**kw):
+    defaults = dict(name="testkern", held=4, stages=2, width=8,
+                    int_width=2, depth=1, iters=10, calls="none", unroll=1)
+    defaults.update(kw)
+    return RoutineProfile(**defaults)
+
+
+class TestProfileKnobs:
+    def test_held_values_appear(self):
+        source = generate_kernel_source(_profile(held=3))
+        for h in range(3):
+            assert f"var g{h}: float" in source
+
+    def test_stage_count(self):
+        source = generate_kernel_source(_profile(stages=3, width=5))
+        for s in range(3):
+            assert f"t0_{s}_0" in source
+
+    def test_width_controls_temps_per_stage(self):
+        source = generate_kernel_source(_profile(width=11, stages=1))
+        assert "t0_0_10" in source
+        assert "t0_0_11" not in source
+
+    def test_depth_nests_loops(self):
+        deep = generate_kernel_source(_profile(depth=3))
+        assert deep.count("for (") == 3
+
+    def test_unroll_replicates_body(self):
+        source = generate_kernel_source(_profile(unroll=2))
+        assert "t0_0_0" in source and "t1_0_0" in source
+
+    def test_calls_emit_helper_invocations(self):
+        leaf = generate_routine_source(_profile(calls="leaf"))
+        assert "h_leaf(" in leaf
+        chain = generate_routine_source(_profile(calls="chain"))
+        assert "h_mid(" in chain and "func h_leaf" in chain
+
+    def test_seed_is_name_derived(self):
+        a = _profile(name="alpha")
+        b = _profile(name="beta")
+        assert a.seed != b.seed
+        assert generate_kernel_source(a) != generate_kernel_source(b)
+
+
+class TestGeneratedValidity:
+    @pytest.mark.parametrize("kwargs", [
+        dict(),
+        dict(depth=2, iters=6),
+        dict(calls="chain", width=6),
+        dict(unroll=3, stages=1),
+        dict(held=0),
+        dict(int_width=0),
+    ], ids=["default", "nested", "chain", "unrolled", "no-held", "no-int"])
+    def test_compiles_verifies_runs(self, kwargs):
+        source = generate_routine_source(_profile(**kwargs))
+        prog = compile_source(source)
+        verify_program(prog)
+        result = Simulator(prog).run()
+        assert isinstance(result.value, float)
+        assert result.value == result.value  # not NaN
+
+    def test_values_bounded(self):
+        """The damping factors must keep accumulators finite even for
+        long runs (no overflow-to-inf in the suite)."""
+        source = generate_routine_source(_profile(iters=500, width=20))
+        result = Simulator(compile_source(source)).run()
+        assert abs(result.value) < 1e12
+
+
+class TestProgramAssembly:
+    def test_two_routines_one_program(self):
+        profiles = [_profile(name="ra"), _profile(name="rb", calls="leaf")]
+        source = generate_program_source(profiles, iters_scale=0.5)
+        prog = compile_source(source)
+        verify_program(prog)
+        assert "ra" in prog.functions and "rb" in prog.functions
+        result = Simulator(prog).run()
+        assert isinstance(result.value, float)
+
+    def test_helpers_deduplicated(self):
+        profiles = [_profile(name="ra", calls="leaf"),
+                    _profile(name="rb", calls="leaf")]
+        source = generate_program_source(profiles)
+        assert source.count("func h_leaf") == 1
+
+    def test_chain_superset_of_leaf(self):
+        profiles = [_profile(name="ra", calls="leaf"),
+                    _profile(name="rb", calls="chain")]
+        source = generate_program_source(profiles)
+        assert source.count("func h_leaf") == 1
+        assert source.count("func h_mid") == 1

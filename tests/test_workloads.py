@@ -1,0 +1,126 @@
+"""Workload suite tests: 59 routines, determinism, pressure guarantees."""
+
+import pytest
+
+from repro.ir import verify_program
+from repro.machine import PAPER_MACHINE_512, Simulator
+from repro.opt import optimize_program
+from repro.regalloc import allocate_function, lower_calling_convention
+from repro.workloads import (PROGRAM_ROUTINES, build_program, build_routine,
+                             generate_routine_source, program_names,
+                             program_source, routine_profile, routine_source,
+                             suite_names)
+
+#: routines exercised end-to-end in this file (full-suite compilation is
+#: the benchmark harness's job; the sample keeps the unit suite fast)
+SAMPLE = ["twldrv", "deseco", "subb", "cosqflX", "colbur", "urand"]
+
+
+class TestSuiteShape:
+    def test_59_routines(self):
+        assert len(suite_names()) == 59
+
+    def test_names_match_paper_tables(self):
+        names = set(suite_names())
+        # spot checks from the paper's Tables 1-3
+        for expected in ("twldrv", "fpppp", "deseco", "tomcatv", "radf4X",
+                         "prophy", "efill", "svd"):
+            assert expected in names
+
+    def test_x_routines_are_unrolled(self):
+        for name in suite_names():
+            profile = routine_profile(name)
+            if name.endswith("X"):
+                assert profile.unroll >= 2, name
+            else:
+                assert profile.unroll == 1, name
+
+    def test_unknown_routine_rejected(self):
+        with pytest.raises(KeyError):
+            routine_profile("nonesuch")
+
+
+class TestDeterminism:
+    def test_source_is_reproducible(self):
+        assert routine_source("twldrv") == routine_source("twldrv")
+
+    def test_different_routines_differ(self):
+        assert routine_source("twldrv") != routine_source("fpppp")
+
+    def test_seed_derived_from_name(self):
+        a = routine_profile("subb")
+        assert a.seed == routine_profile("subb").seed
+
+
+class TestRoutineExecution:
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_builds_and_verifies(self, name):
+        prog = build_routine(name)
+        verify_program(prog)
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_produces_finite_value(self, name):
+        result = Simulator(build_routine(name)).run()
+        assert isinstance(result.value, float)
+        assert abs(result.value) < 1e15
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_spills_under_paper_machine(self, name):
+        prog = build_routine(name)
+        optimize_program(prog)
+        machine = PAPER_MACHINE_512
+        spilled = 0
+        for fn in prog.functions.values():
+            lower_calling_convention(fn, machine)
+            result = allocate_function(fn, machine)
+            spilled += len(result.spilled)
+        assert spilled > 0, f"{name} must spill to be in the suite"
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_allocation_preserves_value(self, name):
+        prog = build_routine(name)
+        expected = Simulator(prog).run().value
+        optimize_program(prog)
+        machine = PAPER_MACHINE_512
+        for fn in prog.functions.values():
+            lower_calling_convention(fn, machine)
+            allocate_function(fn, machine)
+        verify_program(prog)
+        got = Simulator(prog, machine, poison_caller_saved=True).run().value
+        assert got == pytest.approx(expected, rel=1e-9)
+
+
+class TestCallProfiles:
+    def test_leaf_routines_contain_calls(self):
+        source = routine_source("ddeflu")
+        assert "h_leaf(" in source
+
+    def test_chain_routines_nest(self):
+        source = routine_source("deseco")
+        assert "h_mid(" in source
+
+    def test_plain_routines_have_no_calls(self):
+        source = routine_source("subb")
+        assert "h_leaf" not in source
+
+
+class TestPrograms:
+    def test_six_programs(self):
+        assert len(program_names()) == 6
+
+    def test_all_program_routines_in_suite(self):
+        names = set(suite_names())
+        for routines in PROGRAM_ROUTINES.values():
+            assert set(routines) <= names
+
+    def test_program_builds(self):
+        prog = build_program("turb3d")
+        verify_program(prog)
+        assert set(PROGRAM_ROUTINES["turb3d"]) <= set(prog.functions)
+
+    def test_program_runs(self):
+        result = Simulator(build_program("turb3d")).run()
+        assert isinstance(result.value, float)
+
+    def test_program_source_deterministic(self):
+        assert program_source("applu") == program_source("applu")
