@@ -5,10 +5,12 @@ Usage::
     python -m repro run kernel.mfl [--variant postpass_cg] [--ccm 512]
                                    [--args 1 2.5] [--stats]
     python -m repro emit kernel.mfl [--variant baseline] [--stage ...]
+    python -m repro difftest [--seeds N] [--budget S] [--profile nightly]
 
 ``emit`` prints the ILOC listing at a chosen stage: ``frontend`` (raw
 lowering), ``opt`` (after scalar optimization), or ``asm`` (fully
-allocated, the default).
+allocated, the default).  ``difftest`` runs the differential-testing
+fuzzer over the allocator config lattice (see :mod:`repro.difftest`).
 """
 
 from __future__ import annotations
@@ -38,6 +40,12 @@ def _parse_value(text: str):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "difftest":
+        # the differential tester owns its own argument set
+        from .difftest.cli import main as difftest_main
+        return difftest_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro", description="MFL compiler with CCM spill allocation")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -51,6 +59,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="arguments for main()")
     run_cmd.add_argument("--stats", action="store_true",
                          help="print the full dynamic statistics")
+
+    sub.add_parser("difftest",
+                   help="differential-testing fuzzer over the allocator "
+                        "config lattice (python -m repro difftest --help)")
 
     emit_cmd = sub.add_parser("emit", help="print the ILOC listing")
     emit_cmd.add_argument("file")

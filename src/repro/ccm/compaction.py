@@ -57,7 +57,6 @@ def compact_spill_memory(fn: Function) -> CompactionResult:
     movable = [w for w in webs if not w.upward_exposed]
     pinned = [w for w in webs if w.upward_exposed]
     placed = {w.web_id: w.offset for w in pinned}
-    min_start: Dict[int, int] = {}
 
     placement = dict(placed)
     placement.update(

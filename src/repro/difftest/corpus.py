@@ -1,0 +1,76 @@
+"""Persistent regression corpus: ``tests/corpus/*.mfl``.
+
+Every divergence the fuzzer ever finds is minimized and checked in as a
+corpus entry; the test suite replays the whole corpus through the full
+config lattice on every run, so a fixed bug stays fixed.  Entries are
+plain MFL files whose leading ``#`` comments carry provenance::
+
+    # difftest corpus entry
+    # seed: 1234            (the generator seed, when applicable)
+    # found: <one-line description of the bug this program caught>
+
+The corpus also holds *sentinel* programs — shapes that exercise
+historically fragile paths (recursion through the interprocedural walk,
+webs live across deep call chains, tiny-CCM overflow) even though they
+never diverged, so future regressions in those paths surface here.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Iterator, Optional, Tuple
+
+
+def corpus_dir() -> str:
+    """``tests/corpus`` at the repository root (created on demand by
+    :func:`save_corpus_entry`; merely locating it does not create it)."""
+    override = os.environ.get("REPRO_CORPUS_DIR")
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "corpus")
+
+
+def iter_corpus(directory: Optional[str] = None
+                ) -> Iterator[Tuple[str, str, Dict[str, str]]]:
+    """Yield (name, source, metadata) for every corpus entry, sorted."""
+    directory = directory or corpus_dir()
+    if not os.path.isdir(directory):
+        return
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".mfl"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            source = handle.read()
+        yield filename[:-len(".mfl")], source, _parse_metadata(source)
+
+
+def _parse_metadata(source: str) -> Dict[str, str]:
+    meta: Dict[str, str] = {}
+    for line in source.splitlines():
+        if not line.startswith("#"):
+            break
+        m = re.match(r"#\s*([\w-]+):\s*(.*)", line)
+        if m:
+            meta[m.group(1)] = m.group(2).strip()
+    return meta
+
+
+def save_corpus_entry(name: str, source: str,
+                      metadata: Optional[Dict[str, str]] = None,
+                      directory: Optional[str] = None) -> str:
+    """Write a corpus entry; returns its path.  ``name`` is slugified;
+    an existing entry of the same name is overwritten."""
+    directory = directory or corpus_dir()
+    os.makedirs(directory, exist_ok=True)
+    slug = re.sub(r"[^\w-]+", "_", name).strip("_") or "entry"
+    path = os.path.join(directory, f"{slug}.mfl")
+    header = ["# difftest corpus entry"]
+    for key, value in (metadata or {}).items():
+        header.append(f"# {key}: {value}")
+    with open(path, "w") as handle:
+        handle.write("\n".join(header) + "\n" + source)
+    return path

@@ -1,0 +1,431 @@
+"""Seeded generator of adversarial MFL programs.
+
+:mod:`repro.workloads.generator` emits *calibrated* kernels: structured
+loop nests whose register pressure reproduces the paper's suite.  The
+differential tester needs the opposite — program shapes the calibrated
+kernels never produce, because that is where allocator bugs hide:
+
+* deep call chains and (mutual) recursion, exercising the
+  interprocedural high-water-mark walk and its call-graph-cycle
+  conservatism;
+* values defined before a call and used after it, so promoted spill
+  webs are live across calls;
+* tangled control flow — loops whose induction variables advance by
+  different amounts on different paths, flag-controlled exits, nested
+  ``if`` chains — approximating irreducible regions within MFL's
+  structured syntax;
+* mixed int/float computation with conversions, and occasional
+  *deliberate* traps (division by zero) that every configuration must
+  reproduce identically;
+* small global arrays indexed by computed (wrapped) subscripts, so slot
+  aliasing bugs corrupt observable memory, not just the return value.
+
+Everything is derived from one integer seed via ``random.Random``, so a
+divergence report is reproducible from the seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Shape knobs for one generated program, derived from the seed."""
+
+    seed: int
+    n_arrays: int = 2         # small global arrays (int and float)
+    array_len: int = 8        # elements per array
+    chain_depth: int = 0      # deep call chain f0 -> f1 -> ... (0 = none)
+    recursion: str = "none"   # "none" | "self" | "mutual"
+    n_loops: int = 2          # loop statements in main
+    max_trip: int = 6         # loop trip count bound
+    n_stmts: int = 14         # extra straight-line statements in main
+    expr_depth: int = 2       # expression nesting bound
+    allow_traps: bool = False  # may emit a guaranteed-trapping division
+
+
+def profile_for_seed(seed: int) -> FuzzProfile:
+    """Derive a program shape from the seed (deterministically)."""
+    rng = random.Random(seed * 2654435761 % (2 ** 32))
+    return FuzzProfile(
+        seed=seed,
+        n_arrays=rng.randint(1, 3),
+        array_len=rng.choice((4, 6, 8, 12, 16)),
+        chain_depth=rng.choice((0, 0, 1, 2, 3, 4)),
+        recursion=rng.choice(("none", "none", "none", "self", "self",
+                              "mutual")),
+        n_loops=rng.randint(1, 3),
+        max_trip=rng.randint(3, 8),
+        n_stmts=rng.randint(4, 14),
+        expr_depth=rng.choice((1, 1, 2, 2, 3)),
+        allow_traps=rng.random() < 0.06,
+    )
+
+
+def generate_source(seed: int, profile: Optional[FuzzProfile] = None) -> str:
+    """The MFL source program for ``seed``."""
+    profile = profile or profile_for_seed(seed)
+    return _ProgramEmitter(profile).emit()
+
+
+class _Scope:
+    """Names in scope, by type, for expression generation.
+
+    MFL variables are function-scoped but only *defined* on paths that
+    execute their declaration, so a name declared inside a branch must
+    never be referenced outside it: the generator forks the scope when
+    entering a nested block and discards the fork's additions on exit.
+    """
+
+    def __init__(self):
+        self.ints: List[str] = []
+        self.floats: List[str] = []
+        self.protected: set = set()
+
+    def of(self, type_name: str) -> List[str]:
+        return self.ints if type_name == "int" else self.floats
+
+    def add(self, name: str, type_name: str) -> None:
+        self.of(type_name).append(name)
+
+    def protect(self, name: str) -> None:
+        """Bar ``name`` from random reassignment.  Loop counters and exit
+        flags must only change through their dedicated updates, or a
+        random assignment in the body can reset them every iteration and
+        the loop never terminates."""
+        self.protected.add(name)
+
+    def assignable(self, type_name: str) -> List[str]:
+        return [n for n in self.of(type_name) if n not in self.protected]
+
+    def fork(self) -> "_Scope":
+        child = _Scope()
+        child.ints = list(self.ints)
+        child.floats = list(self.floats)
+        child.protected = set(self.protected)
+        return child
+
+
+class _ProgramEmitter:
+    def __init__(self, profile: FuzzProfile):
+        self.p = profile
+        self.rng = random.Random(profile.seed)
+        self.lines: List[str] = []
+        self.indent = 0
+        self.tmp = 0
+        self.int_arrays: List[str] = []
+        self.float_arrays: List[str] = []
+
+    # -- low-level helpers -------------------------------------------------
+
+    def line(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def fresh(self, prefix: str = "t") -> str:
+        self.tmp += 1
+        return f"{prefix}{self.tmp}"
+
+    # -- expressions -------------------------------------------------------
+
+    def int_expr(self, scope: _Scope, depth: int) -> str:
+        rng = self.rng
+        if depth <= 0 or (not scope.ints and rng.random() < 0.5):
+            if scope.ints and rng.random() < 0.6:
+                return rng.choice(scope.ints)
+            return str(rng.randint(-9, 20))
+        roll = rng.random()
+        a = self.int_expr(scope, depth - 1)
+        if roll < 0.12 and self.int_arrays:
+            arr = rng.choice(self.int_arrays)
+            return f"{arr}[{self._wrap_index(a)}]"
+        if roll < 0.2 and scope.floats:
+            return f"int({rng.choice(scope.floats)})"
+        b = self.int_expr(scope, depth - 1)
+        op = rng.choice(("+", "-", "*", "&", "|", "^", "<<", ">>",
+                         "/", "%", "<", "<=", "==", "!="))
+        if op == "*":
+            return f"({a}) * {rng.randint(1, 5)}"
+        if op in ("<<", ">>"):
+            return f"({a}) {op} (({b}) & 3)"
+        if op in ("/", "%"):
+            return f"({a}) {op} ((({b}) & 7) + 1)"
+        return f"({a}) {op} ({b})"
+
+    def float_expr(self, scope: _Scope, depth: int) -> str:
+        rng = self.rng
+        if depth <= 0 or (not scope.floats and rng.random() < 0.5):
+            if scope.floats and rng.random() < 0.6:
+                return rng.choice(scope.floats)
+            return f"{rng.randint(-40, 80) * 0.125:.6f}"
+        roll = rng.random()
+        a = self.float_expr(scope, depth - 1)
+        if roll < 0.12 and self.float_arrays:
+            arr = rng.choice(self.float_arrays)
+            idx = self.int_expr(scope, 1)
+            return f"{arr}[{self._wrap_index(idx)}]"
+        if roll < 0.2 and scope.ints:
+            return f"float({rng.choice(scope.ints)})"
+        b = self.float_expr(scope, depth - 1)
+        op = rng.choice(("+", "-", "*", "/"))
+        if op == "*":
+            return f"({a}) * {rng.choice((0.5, 0.25, 1.5, 2.0))}"
+        if op == "/":
+            return f"({a}) / (({b}) * ({b}) + 1.0)"
+        return f"({a}) {op} ({b})"
+
+    def _wrap_index(self, expr: str) -> str:
+        """A subscript in [0, array_len): MFL '%' truncates toward zero,
+        so a single mod of a negative value would index below the base."""
+        n = self.p.array_len
+        return f"((({expr}) % {n} + {n}) % {n})"
+
+    def cond_expr(self, scope: _Scope) -> str:
+        a = self.int_expr(scope, 1)
+        b = self.int_expr(scope, 1)
+        op = self.rng.choice(("<", "<=", ">", ">=", "==", "!="))
+        return f"({a}) {op} ({b})"
+
+    # -- statements --------------------------------------------------------
+
+    def emit_decl(self, scope: _Scope, type_name: Optional[str] = None) -> str:
+        rng = self.rng
+        type_name = type_name or rng.choice(("int", "float"))
+        name = self.fresh("v")
+        if type_name == "int":
+            self.line(f"var {name}: int = {self.int_expr(scope, self.p.expr_depth)}")
+        else:
+            self.line(f"var {name}: float = "
+                      f"{self.float_expr(scope, self.p.expr_depth)}")
+        scope.add(name, type_name)
+        return name
+
+    def emit_assign(self, scope: _Scope) -> None:
+        rng = self.rng
+        ints = scope.assignable("int")
+        floats = scope.assignable("float")
+        if ints and (not floats or rng.random() < 0.5):
+            name = rng.choice(ints)
+            expr = self.int_expr(scope, self.p.expr_depth)
+            # wrap so integer magnitudes stay bounded across loop bodies
+            if rng.random() < 0.4:
+                expr = f"({expr}) % 8209"
+            self.line(f"{name} = {expr}")
+        elif floats:
+            name = rng.choice(floats)
+            self.line(f"{name} = {self.float_expr(scope, self.p.expr_depth)}")
+
+    def emit_store(self, scope: _Scope) -> None:
+        rng = self.rng
+        if self.int_arrays and (not self.float_arrays or rng.random() < 0.5):
+            arr = rng.choice(self.int_arrays)
+            idx = self._wrap_index(self.int_expr(scope, 1))
+            self.line(f"{arr}[{idx}] = "
+                      f"{self.int_expr(scope, self.p.expr_depth)}")
+        elif self.float_arrays:
+            arr = rng.choice(self.float_arrays)
+            idx = self._wrap_index(self.int_expr(scope, 1))
+            self.line(f"{arr}[{idx}] = "
+                      f"{self.float_expr(scope, self.p.expr_depth)}")
+
+    def emit_trap_candidate(self, scope: _Scope) -> None:
+        """A division whose divisor *may* be zero at run time."""
+        a = self.int_expr(scope, 1)
+        b = self.int_expr(scope, 1)
+        name = self.fresh("z")
+        self.line(f"var {name}: int = ({a}) / (({b}) & 1)")
+        scope.add(name, "int")
+
+    def emit_if(self, scope: _Scope, depth: int) -> None:
+        self.line(f"if ({self.cond_expr(scope)}) {{")
+        self.indent += 1
+        self.emit_plain_stmts(scope.fork(), self.rng.randint(1, 3), depth)
+        self.indent -= 1
+        if self.rng.random() < 0.6:
+            self.line("} else {")
+            self.indent += 1
+            self.emit_plain_stmts(scope.fork(), self.rng.randint(1, 3), depth)
+            self.indent -= 1
+        self.line("}")
+
+    def emit_loop(self, scope: _Scope, depth: int) -> None:
+        """A while loop with path-dependent induction updates and a
+        flag-controlled early exit — 'irreducible-ish' control flow."""
+        rng = self.rng
+        i = self.fresh("i")
+        bound = rng.randint(2, self.p.max_trip)
+        self.line(f"var {i}: int = 0")
+        scope.add(i, "int")
+        scope.protect(i)
+        flag = None
+        if rng.random() < 0.5:
+            flag = self.fresh("flag")
+            self.line(f"var {flag}: int = 0")
+            scope.add(flag, "int")
+            scope.protect(flag)
+            self.line(f"while (({i} < {bound}) && ({flag} == 0)) {{")
+        else:
+            self.line(f"while ({i} < {bound}) {{")
+        self.indent += 1
+        body_scope = scope.fork()
+        self.emit_plain_stmts(body_scope, rng.randint(1, 3), depth)
+        if depth > 0 and rng.random() < 0.5:
+            self.emit_if(body_scope, depth - 1)
+        if depth > 0 and rng.random() < 0.3:
+            self.emit_loop(body_scope, 0)
+        if flag is not None:
+            self.line(f"if (({self.int_expr(body_scope, 1)}) % 13 == 5) "
+                      f"{{ {flag} = 1 }}")
+        # advance by different amounts on different paths
+        if rng.random() < 0.5:
+            self.line(f"if (({i} & 1) == 0) {{ {i} = {i} + 2 }} "
+                      f"else {{ {i} = {i} + 1 }}")
+        else:
+            self.line(f"{i} = {i} + 1")
+        self.indent -= 1
+        self.line("}")
+
+    def emit_plain_stmts(self, scope: _Scope, n: int, depth: int) -> None:
+        for _ in range(n):
+            roll = self.rng.random()
+            if roll < 0.35:
+                self.emit_decl(scope)
+            elif roll < 0.7:
+                self.emit_assign(scope)
+            elif roll < 0.9:
+                self.emit_store(scope)
+            elif self.p.allow_traps and roll < 0.93:
+                self.emit_trap_candidate(scope)
+            elif depth > 0:
+                self.emit_if(scope, depth - 1)
+            else:
+                self.emit_decl(scope)
+
+    # -- helper functions --------------------------------------------------
+
+    def emit_chain(self) -> List[str]:
+        """f0 calls f1 twice, ... keeping values live across each call."""
+        depth = self.p.chain_depth
+        names = [f"c{d}" for d in range(depth)]
+        for d in reversed(range(depth)):
+            name = names[d]
+            self.line(f"func {name}(x: float, k: int): float {{")
+            self.indent += 1
+            if d == depth - 1:
+                self.line("var s: float = x * 0.5")
+                self.line("var j: int = k & 7")
+                self.line("while (j > 0) {")
+                self.indent += 1
+                self.line("s = s + float(j) * 0.125")
+                self.line("j = j - 1")
+                self.indent -= 1
+                self.line("}")
+                self.line("return s + float(k & 3)")
+            else:
+                callee = names[d + 1]
+                # held lives across both calls; a lives across the second
+                self.line("var held: float = x + float(k)")
+                self.line(f"var a: float = {callee}(x * 0.25, k + 1)")
+                self.line(f"var b: float = {callee}(a + held, k + 2)")
+                self.line("return held * 0.5 + a + b")
+            self.indent -= 1
+            self.line("}")
+        return names
+
+    def emit_recursion(self) -> List[str]:
+        if self.p.recursion == "self":
+            self.line("func rec(n: int, acc: float): float {")
+            self.indent += 1
+            self.line("if (n <= 0) { return acc }")
+            self.line("var keep: float = acc * 0.5")
+            self.line("return rec(n - 1, acc * 0.75 + float(n)) + keep * 0.25")
+            self.indent -= 1
+            self.line("}")
+            return ["rec"]
+        if self.p.recursion == "mutual":
+            self.line("func even(n: int): int {")
+            self.indent += 1
+            self.line("if (n <= 0) { return 1 }")
+            self.line("return odd(n - 1)")
+            self.indent -= 1
+            self.line("}")
+            self.line("func odd(n: int): int {")
+            self.indent += 1
+            self.line("if (n <= 0) { return 0 }")
+            self.line("var keep: int = n * 3")
+            self.line("return even(n - 1) + keep - keep")
+            self.indent -= 1
+            self.line("}")
+            return ["even", "odd"]
+        return []
+
+    # -- whole program -----------------------------------------------------
+
+    def emit(self) -> str:
+        p, rng = self.p, self.rng
+        # globals: at least one int and one float array, plus OUT
+        for a in range(p.n_arrays):
+            if a % 2 == 0:
+                name = f"GF{a}"
+                init = ", ".join(f"{(i * 5 + a * 3) % 13 * 0.25 + 0.25:.2f}"
+                                 for i in range(p.array_len))
+                self.line(f"global {name}: float[{p.array_len}] = {{{init}}}")
+                self.float_arrays.append(name)
+            else:
+                name = f"GI{a}"
+                init = ", ".join(str((i * 7 + a) % 23 + 1)
+                                 for i in range(p.array_len))
+                self.line(f"global {name}: int[{p.array_len}] = {{{init}}}")
+                self.int_arrays.append(name)
+        self.line(f"global OUT: float[{max(4, p.n_arrays)}]")
+
+        chain = self.emit_chain()
+        recs = self.emit_recursion()
+
+        self.line("func main(): float {")
+        self.indent += 1
+        scope = _Scope()
+        self.line("var acc: float = 0.0")
+        scope.add("acc", "float")
+        self.emit_decl(scope, "int")
+        self.emit_decl(scope, "float")
+
+        budget = p.n_stmts
+        loops_left = p.n_loops
+        while budget > 0 or loops_left > 0:
+            roll = rng.random()
+            if loops_left > 0 and (budget <= 0 or roll < 0.25):
+                self.emit_loop(scope, 1)
+                loops_left -= 1
+            else:
+                self.emit_plain_stmts(scope, 1, 1)
+                budget -= 1
+            # sprinkle calls so values stay live across them
+            if chain and rng.random() < 0.3:
+                x = self.float_expr(scope, 1)
+                k = self.int_expr(scope, 1)
+                self.line(f"acc = acc + {chain[0]}(({x}) * 0.0625, ({k}) & 15)")
+            if recs and rng.random() < 0.25:
+                if recs[0] == "rec":
+                    n = self.int_expr(scope, 1)
+                    self.line(f"acc = acc * 0.5 + rec((({n}) & 7), acc)")
+                else:
+                    n = self.int_expr(scope, 1)
+                    self.line(f"acc = acc + float(even(({n}) & 7))")
+
+        # route every live value into the observable output
+        for v in scope.ints[:6]:
+            self.line(f"acc = acc + float({v}) * 0.000244140625")
+        for v in scope.floats[:6]:
+            self.line(f"acc = acc + ({v}) * 0.0009765625")
+        self.line("OUT[0] = acc")
+        if self.int_arrays:
+            self.line(f"OUT[1] = float({self.int_arrays[0]}[0])")
+        if self.float_arrays:
+            self.line(f"OUT[2] = {self.float_arrays[0]}[1]")
+        self.line("return acc")
+        self.indent -= 1
+        self.line("}")
+        return "\n".join(self.lines) + "\n"

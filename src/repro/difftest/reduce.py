@@ -1,0 +1,179 @@
+"""Delta-debugging reducer for divergent MFL programs.
+
+Given a source program and an *interestingness* predicate ("still
+compiles and still diverges"), shrink the program while preserving the
+predicate.  The reducer works on physical source lines with three
+transformation families:
+
+* drop a contiguous chunk of lines (classic ddmin, shrinking chunk
+  sizes geometrically);
+* drop a brace-balanced region whole (a loop, an ``if``, a function —
+  anything from a line opening ``{`` through its matching ``}``);
+* *unwrap* a brace pair: delete the header line and its matching
+  closer, keeping the body (turns ``if (c) { S }`` into ``S``);
+* simplify expressions within a line: replace a parenthesized span by
+  one of its directly-nested parenthesized children (peeling wrappers
+  like the generator's ``((e % n + n) % n)`` index guards) or by a
+  literal ``0`` / ``1``.
+
+A candidate that fails to parse simply fails the predicate, so the
+reducer needs no grammar knowledge beyond brace matching.  The process
+is deterministic: candidates are tried in a fixed order and the loop
+runs to a fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+Predicate = Callable[[str], bool]
+
+
+def _lines(source: str) -> List[str]:
+    return [ln for ln in source.splitlines()]
+
+
+def _join(lines: List[str]) -> str:
+    return "\n".join(lines) + "\n"
+
+
+def _brace_regions(lines: List[str]) -> List[Tuple[int, int]]:
+    """(open_line, close_line) pairs for brace-balanced regions where the
+    region spans multiple lines.  Single-line blocks (``{ ... }`` on one
+    line) are already handled by plain line removal."""
+    stack: List[int] = []
+    regions: List[Tuple[int, int]] = []
+    for i, line in enumerate(lines):
+        for ch in line:
+            if ch == "{":
+                stack.append(i)
+            elif ch == "}":
+                if stack:
+                    start = stack.pop()
+                    if start != i:
+                        regions.append((start, i))
+    return regions
+
+
+def reduce_source(source: str, predicate: Predicate,
+                  max_passes: int = 30) -> str:
+    """Shrink ``source`` while ``predicate`` holds.  The input itself
+    must satisfy the predicate."""
+    if not predicate(source):
+        raise ValueError("reduce_source: input does not satisfy the predicate")
+    lines = _lines(source)
+    for _ in range(max_passes):
+        lines, changed = _one_pass(lines, predicate)
+        if not changed:
+            break
+    return _join(lines)
+
+
+def _one_pass(lines: List[str], predicate: Predicate
+              ) -> Tuple[List[str], bool]:
+    changed = False
+    lines, c = _ddmin_chunks(lines, predicate)
+    changed |= c
+    lines, c = _drop_regions(lines, predicate)
+    changed |= c
+    lines, c = _unwrap_regions(lines, predicate)
+    changed |= c
+    lines, c = _simplify_exprs(lines, predicate)
+    changed |= c
+    return lines, changed
+
+
+def _try(lines: List[str], predicate: Predicate) -> bool:
+    return predicate(_join(lines))
+
+
+def _ddmin_chunks(lines: List[str], predicate: Predicate
+                  ) -> Tuple[List[str], bool]:
+    changed = False
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(lines):
+            candidate = lines[:i] + lines[i + chunk:]
+            if candidate and _try(candidate, predicate):
+                lines = candidate
+                changed = True
+                # keep i: the next chunk slid into place
+            else:
+                i += chunk
+        chunk //= 2
+    return lines, changed
+
+
+def _drop_regions(lines: List[str], predicate: Predicate
+                  ) -> Tuple[List[str], bool]:
+    changed = True
+    any_change = False
+    while changed:
+        changed = False
+        for start, end in _brace_regions(lines):
+            candidate = lines[:start] + lines[end + 1:]
+            if candidate and _try(candidate, predicate):
+                lines = candidate
+                changed = True
+                any_change = True
+                break  # regions are stale; recompute
+    return lines, any_change
+
+
+def _paren_spans(text: str) -> List[Tuple[int, int]]:
+    """(open, close) index pairs of parenthesized spans, outermost first."""
+    stack: List[int] = []
+    spans: List[Tuple[int, int]] = []
+    for i, ch in enumerate(text):
+        if ch == "(":
+            stack.append(i)
+        elif ch == ")" and stack:
+            spans.append((stack.pop(), i))
+    spans.sort(key=lambda s: (s[0], -s[1]))
+    return spans
+
+
+def _simplify_exprs(lines: List[str], predicate: Predicate
+                    ) -> Tuple[List[str], bool]:
+    any_change = False
+    for idx in range(len(lines)):
+        changed = True
+        while changed:
+            changed = False
+            line = lines[idx]
+            for start, end in _paren_spans(line):
+                children = [(s, e) for s, e in _paren_spans(line)
+                            if start < s and e < end]
+                replacements = [line[s:e + 1] for s, e in children]
+                replacements += ["0", "1"]
+                for repl in replacements:
+                    if repl == line[start:end + 1]:
+                        continue
+                    candidate = line[:start] + repl + line[end + 1:]
+                    trial = lines[:idx] + [candidate] + lines[idx + 1:]
+                    if _try(trial, predicate):
+                        lines = trial
+                        changed = True
+                        any_change = True
+                        break
+                if changed:
+                    break   # spans are stale; rescan the line
+    return lines, any_change
+
+
+def _unwrap_regions(lines: List[str], predicate: Predicate
+                    ) -> Tuple[List[str], bool]:
+    changed = True
+    any_change = False
+    while changed:
+        changed = False
+        for start, end in _brace_regions(lines):
+            candidate = (lines[:start] + lines[start + 1:end]
+                         + lines[end + 1:])
+            if candidate and _try(candidate, predicate):
+                lines = candidate
+                changed = True
+                any_change = True
+                break
+    return lines, any_change

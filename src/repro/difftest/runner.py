@@ -1,0 +1,464 @@
+"""Differential runner: one seed, many configurations, one answer.
+
+Each seed's MFL source is compiled under every point of a config
+lattice::
+
+    opt pipeline {on, off}
+  x allocator   {baseline (no CCM), postpass, postpass_cg, integrated}
+  x compaction  {off, on}
+  x CCM size    {0, 64, 512, 1024} bytes
+
+and executed on the cycle-accurate simulator.  The oracle is the
+*unoptimized, unallocated* program (virtual registers, no spill code):
+every configuration must produce the identical return value, identical
+program traps, and identical final global-array contents.  On top of
+semantic equality the runner checks sanity invariants:
+
+* a no-CCM configuration performs zero CCM traffic, as does any
+  configuration with a 0-byte CCM;
+* dynamic CCM bytes touched never exceed the configured CCM size;
+* the post-pass allocators only *retarget* spill instructions, so their
+  combined (stack + CCM) spill traffic equals the stack spill traffic
+  of the identically-optimized baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ccm import (allocate_function_integrated, compact_spill_memory,
+                   promote_spills_postpass)
+from ..frontend import compile_source
+from ..ir import Program, verify_program
+from ..machine import MachineConfig, RunStats, SimulationError, Simulator
+from ..opt import optimize_program
+from ..regalloc import allocate_function, lower_calling_convention
+from .gen import generate_source
+
+DEFAULT_CCM_SIZES = (0, 64, 512, 1024)
+
+#: instruction budget per simulation; generated programs run a few
+#: thousand instructions, so hitting this means the generator produced
+#: a non-terminating seed (kept low so such seeds are cheap to skip)
+FUEL = 300_000
+
+#: Register-file geometries for the lattice.  "small" (the default) has
+#: 8 registers per class, so the tiny generated programs spill hard —
+#: under the paper's 64-register machine they would barely spill at all
+#: and the CCM paths would go untested.  "paper" is the evaluation
+#: machine, for slower full-fidelity runs.
+GEOMETRIES = {
+    "small": dict(n_int_regs=8, n_float_regs=8, n_args=2,
+                  callee_saved_start=6),
+    "paper": {},
+}
+
+
+def _machine_for(config: "DiffConfig") -> MachineConfig:
+    return MachineConfig(ccm_bytes=config.ccm_bytes,
+                         **GEOMETRIES[config.geometry])
+
+
+@dataclass(frozen=True)
+class DiffConfig:
+    """One point of the configuration lattice."""
+
+    variant: str          # baseline | postpass | postpass_cg | integrated
+    optimize: bool
+    compaction: bool
+    ccm_bytes: int
+    geometry: str = "small"   # register-file geometry, see GEOMETRIES
+
+    @property
+    def name(self) -> str:
+        suffix = "" if self.geometry == "small" else f"@{self.geometry}"
+        return (f"{self.variant}"
+                f"{'+opt' if self.optimize else ''}"
+                f"{'+compact' if self.compaction else ''}"
+                f"/ccm{self.ccm_bytes}{suffix}")
+
+
+def config_lattice(ccm_sizes: Sequence[int] = DEFAULT_CCM_SIZES,
+                   geometry: str = "small") -> List[DiffConfig]:
+    """The full lattice.  Baseline code never touches the CCM, so its
+    compiled form is independent of the CCM size; it appears once per
+    (opt, compaction) pair instead of once per CCM size."""
+    configs: List[DiffConfig] = []
+    for optimize in (True, False):
+        for compaction in (False, True):
+            configs.append(DiffConfig("baseline", optimize, compaction,
+                                      max(ccm_sizes), geometry))
+            for variant in ("postpass", "postpass_cg", "integrated"):
+                for ccm in ccm_sizes:
+                    configs.append(DiffConfig(variant, optimize, compaction,
+                                              ccm, geometry))
+    return configs
+
+
+@dataclass
+class Outcome:
+    """Observable behavior of one execution."""
+
+    kind: str                       # "value" | "trap"
+    value: object = None
+    trap: Optional[str] = None
+    globals: Dict[str, tuple] = field(default_factory=dict)
+    stats: Optional[RunStats] = None
+
+
+@dataclass
+class Divergence:
+    """One config whose behavior differs from the reference."""
+
+    seed: Optional[int]
+    config: str
+    kind: str        # compile_error | value | trap | globals | invariant
+    detail: str
+    source: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {"seed": self.seed, "config": self.config, "kind": self.kind,
+                "detail": self.detail}
+
+
+@dataclass
+class SeedResult:
+    """Everything the runner learned about one seed."""
+
+    seed: Optional[int]
+    n_configs: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    skipped: Optional[str] = None   # reason the seed was uncheckable
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and self.skipped is None
+
+
+@dataclass
+class FuzzReport:
+    """JSON-serializable summary of a fuzzing run."""
+
+    seeds_run: int = 0
+    seeds_skipped: int = 0
+    configs_run: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_json(self) -> dict:
+        return {
+            "seeds_run": self.seeds_run,
+            "seeds_skipped": self.seeds_skipped,
+            "configs_run": self.configs_run,
+            "n_divergences": len(self.divergences),
+            "divergences": [d.to_json() for d in self.divergences],
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+    def format_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2)
+
+
+# -- compilation under a config ------------------------------------------------
+
+
+class _StageCache:
+    """Shares compilation work across lattice points.
+
+    The pipeline up to register allocation is identical for every config
+    with the same (optimize, geometry) pair, and the baseline allocation
+    is further shared by the baseline and both post-pass variants — the
+    post-pass only retargets spill instructions after allocation.  Each
+    level caches a compiled snapshot; config-specific passes run on a
+    :meth:`Program.clone` so the snapshot stays pristine.  This turns
+    ~50 full compiles per seed into 2 optimize+lower runs, ~10 register
+    allocations, and cheap per-config promotion/compaction passes.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._lowered: Dict[tuple, Program] = {}
+        self._allocated: Dict[tuple, Program] = {}
+        self._integrated: Dict[tuple, Program] = {}
+
+    def lowered(self, optimize: bool, geometry: str) -> Program:
+        key = (optimize, geometry)
+        if key not in self._lowered:
+            prog = self.program.clone()
+            if optimize:
+                optimize_program(prog)
+            machine = MachineConfig(**GEOMETRIES[geometry])
+            for fn in prog.functions.values():
+                lower_calling_convention(fn, machine)
+            self._lowered[key] = prog
+        return self._lowered[key]
+
+    def allocated(self, optimize: bool, geometry: str) -> Program:
+        """Baseline (stack-spilling) allocation of the lowered program."""
+        key = (optimize, geometry)
+        if key not in self._allocated:
+            prog = self.lowered(optimize, geometry).clone()
+            machine = MachineConfig(**GEOMETRIES[geometry])
+            for fn in prog.functions.values():
+                allocate_function(fn, machine)
+            self._allocated[key] = prog
+        return self._allocated[key]
+
+    def integrated(self, optimize: bool, geometry: str,
+                   ccm_bytes: int) -> Program:
+        """Integrated allocation — depends on the CCM size but not on
+        compaction, which runs after allocation."""
+        key = (optimize, geometry, ccm_bytes)
+        if key not in self._integrated:
+            prog = self.lowered(optimize, geometry).clone()
+            machine = MachineConfig(ccm_bytes=ccm_bytes,
+                                    **GEOMETRIES[geometry])
+            for fn in prog.functions.values():
+                allocate_function_integrated(fn, machine)
+            self._integrated[key] = prog
+        return self._integrated[key]
+
+
+def finalize_config(stages: _StageCache,
+                    config: DiffConfig) -> Tuple[Program, MachineConfig]:
+    """The fully compiled program for one lattice point."""
+    machine = _machine_for(config)
+    if config.variant == "integrated":
+        program = stages.integrated(config.optimize, config.geometry,
+                                    config.ccm_bytes).clone()
+        if config.compaction:
+            for fn in program.functions.values():
+                compact_spill_memory(fn)
+    else:
+        program = stages.allocated(config.optimize, config.geometry).clone()
+        if config.variant == "postpass":
+            promote_spills_postpass(program, machine, interprocedural=False,
+                                    compact_heavyweights=config.compaction)
+        elif config.variant == "postpass_cg":
+            promote_spills_postpass(program, machine, interprocedural=True,
+                                    compact_heavyweights=config.compaction)
+        elif config.compaction:
+            for fn in program.functions.values():
+                compact_spill_memory(fn)
+    verify_program(program)
+    return program, machine
+
+
+def compile_config(program: Program, config: DiffConfig
+                   ) -> Tuple[Program, MachineConfig]:
+    """Compile ``program`` under one config (standalone entry point;
+    ``check_source`` goes through a shared :class:`_StageCache`)."""
+    return finalize_config(_StageCache(program), config)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def _execute(program: Program, machine: MachineConfig,
+             poison: bool) -> Outcome:
+    sim = Simulator(program, machine, fuel=FUEL,
+                    poison_caller_saved=poison)
+    try:
+        run = sim.run()
+    except SimulationError as exc:
+        if exc.kind == "trap":
+            return Outcome("trap", trap=str(exc),
+                           globals=sim.globals_snapshot())
+        raise
+    return Outcome("value", value=run.value, globals=sim.globals_snapshot(),
+                   stats=run.stats)
+
+
+def execute_reference(source: str) -> Tuple[Optional[Outcome], Optional[str]]:
+    """Run the unoptimized, unallocated program: the semantic oracle.
+
+    Returns (outcome, skip_reason); a reference that fails to compile or
+    hits a machine-kind error is a generator bug, not a compiler bug, so
+    the seed is reported as skipped rather than divergent.
+    """
+    try:
+        program = compile_source(source)
+        verify_program(program)
+    except Exception as exc:
+        return None, f"reference failed to compile: {exc}"
+    try:
+        return _execute(program, MachineConfig(), poison=False), None
+    except SimulationError as exc:
+        return None, f"reference machine error: {exc}"
+
+
+def _values_match(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if a != a and b != b:       # NaN == NaN for oracle purposes
+            return True
+        scale = max(1.0, abs(a), abs(b))
+        return abs(a - b) <= 1e-9 * scale
+    return type(a) is type(b) and a == b
+
+
+def _globals_match(a: Dict[str, tuple], b: Dict[str, tuple]) -> Optional[str]:
+    for name in a:
+        va, vb = a[name], b.get(name)
+        if vb is None or len(va) != len(vb):
+            return f"global {name} shape differs"
+        for i, (x, y) in enumerate(zip(va, vb)):
+            if not _values_match(x, y):
+                return f"global {name}[{i}]: {x!r} != {y!r}"
+    return None
+
+
+def _check_invariants(config: DiffConfig, stats: RunStats,
+                      baseline_spill_traffic: Optional[int]) -> List[str]:
+    problems: List[str] = []
+    if config.variant == "baseline" or config.ccm_bytes == 0:
+        if stats.ccm_traffic:
+            problems.append(
+                f"no-CCM config performed {stats.ccm_traffic} CCM accesses")
+    if stats.max_ccm_offset >= 0 and \
+            stats.max_ccm_offset + 1 > config.ccm_bytes:
+        problems.append(
+            f"CCM bytes touched ({stats.max_ccm_offset + 1}) exceed the "
+            f"configured {config.ccm_bytes}-byte CCM")
+    if config.variant in ("postpass", "postpass_cg") \
+            and baseline_spill_traffic is not None:
+        total = stats.ccm_traffic + stats.spill_traffic
+        if total != baseline_spill_traffic:
+            problems.append(
+                f"post-pass traffic {total} (ccm {stats.ccm_traffic} + "
+                f"stack {stats.spill_traffic}) != baseline spill traffic "
+                f"{baseline_spill_traffic}")
+    return problems
+
+
+FaultFn = Optional[Callable[[Program], None]]
+
+
+def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
+                 seed: Optional[int] = None,
+                 fault: FaultFn = None) -> SeedResult:
+    """Differentially test one MFL source against the whole lattice.
+
+    ``fault``, if given, is applied to each compiled program before
+    execution — used to validate that the oracle detects known
+    miscompiles (see :mod:`repro.difftest.faults`).
+    """
+    configs = list(configs) if configs is not None else config_lattice()
+    result = SeedResult(seed, n_configs=len(configs))
+
+    try:
+        base = compile_source(source)
+        verify_program(base)
+    except Exception as exc:
+        result.skipped = f"reference failed to compile: {exc}"
+        return result
+    try:
+        reference = _execute(base, MachineConfig(), poison=False)
+    except SimulationError as exc:
+        result.skipped = f"reference machine error: {exc}"
+        return result
+
+    # dynamic stack-spill traffic of the baseline per opt setting, for
+    # the post-pass conservation invariant
+    baseline_spill: Dict[bool, int] = {}
+    stages = _StageCache(base)
+
+    for config in configs:
+        divergence = _check_one(stages, config, reference, baseline_spill,
+                                fault)
+        if divergence is not None:
+            divergence.seed = seed
+            divergence.source = source
+            result.divergences.append(divergence)
+    return result
+
+
+def _check_one(stages: _StageCache, config: DiffConfig, reference: Outcome,
+               baseline_spill: Dict[bool, int],
+               fault: FaultFn = None) -> Optional[Divergence]:
+    try:
+        program, machine = finalize_config(stages, config)
+    except Exception as exc:
+        return Divergence(None, config.name, "compile_error",
+                          f"{type(exc).__name__}: {exc}")
+    if fault is not None:
+        fault(program)
+    try:
+        outcome = _execute(program, machine, poison=True)
+    except SimulationError as exc:
+        return Divergence(None, config.name, "trap",
+                          f"machine error in compiled code: {exc} "
+                          f"(reference: {reference.kind})")
+
+    if reference.kind == "trap":
+        if outcome.kind != "trap":
+            return Divergence(None, config.name, "trap",
+                              f"reference trapped ({reference.trap}) but "
+                              f"config returned {outcome.value!r}")
+        if outcome.trap != reference.trap:
+            return Divergence(None, config.name, "trap",
+                              f"trap mismatch: {outcome.trap!r} != "
+                              f"{reference.trap!r}")
+    else:
+        if outcome.kind == "trap":
+            return Divergence(None, config.name, "trap",
+                              f"config trapped ({outcome.trap}) but "
+                              f"reference returned {reference.value!r}")
+        if not _values_match(outcome.value, reference.value):
+            return Divergence(None, config.name, "value",
+                              f"value {outcome.value!r} != reference "
+                              f"{reference.value!r}")
+
+    mismatch = _globals_match(reference.globals, outcome.globals)
+    if mismatch is not None:
+        return Divergence(None, config.name, "globals", mismatch)
+
+    if outcome.stats is not None:
+        if config.variant == "baseline" and not config.compaction \
+                and fault is None:
+            baseline_spill.setdefault(config.optimize,
+                                      outcome.stats.spill_traffic)
+        problems = _check_invariants(
+            config, outcome.stats,
+            None if fault is not None else
+            baseline_spill.get(config.optimize))
+        if problems:
+            return Divergence(None, config.name, "invariant",
+                              "; ".join(problems))
+    return None
+
+
+def check_seed(seed: int, configs: Optional[Sequence[DiffConfig]] = None
+               ) -> SeedResult:
+    """Generate the seed's program and differentially test it."""
+    return check_source(generate_source(seed), configs, seed=seed)
+
+
+def run_fuzz(seeds: Sequence[int],
+             configs: Optional[Sequence[DiffConfig]] = None,
+             budget_s: Optional[float] = None,
+             progress: Optional[Callable[[int, SeedResult], None]] = None
+             ) -> FuzzReport:
+    """Fuzz a batch of seeds, stopping early when the budget runs out."""
+    configs = list(configs) if configs is not None else config_lattice()
+    report = FuzzReport()
+    start = time.time()
+    for seed in seeds:
+        if budget_s is not None and time.time() - start > budget_s:
+            break
+        result = check_seed(seed, configs)
+        report.seeds_run += 1
+        if result.skipped is not None:
+            report.seeds_skipped += 1
+        report.configs_run += result.n_configs
+        report.divergences.extend(result.divergences)
+        if progress is not None:
+            progress(seed, result)
+    report.elapsed_s = time.time() - start
+    return report

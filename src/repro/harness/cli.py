@@ -10,6 +10,7 @@ Usage::
     python -m repro.harness fig4
     python -m repro.harness ablation
     python -m repro.harness all
+    python -m repro.harness difftest [--seeds N] [--budget S] ...
 """
 
 from __future__ import annotations
@@ -31,6 +32,11 @@ def _routine_list(arg: Optional[str]) -> Optional[List[str]]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "difftest":
+        from ..difftest.cli import main as difftest_main
+        return difftest_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="ccm-harness",
         description="Regenerate the tables and figures of "
@@ -38,7 +44,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("target",
                         choices=["table1", "table2", "table3", "table4",
                                  "fig3", "fig4", "ablation", "experiments",
-                                 "all"])
+                                 "all", "difftest"])
     parser.add_argument("--ccm", type=int, default=512,
                         help="CCM size in bytes for table2 (default 512)")
     parser.add_argument("--routines", type=str, default="",

@@ -53,6 +53,11 @@ class BasicBlock:
     def __len__(self) -> int:
         return len(self.instructions)
 
+    def clone(self) -> "BasicBlock":
+        block = BasicBlock(self.label)
+        block.instructions = [i.copy() for i in self.instructions]
+        return block
+
     def __repr__(self) -> str:
         return f"<BasicBlock {self.label}: {len(self.instructions)} instrs>"
 
@@ -140,6 +145,23 @@ class Function:
     def instruction_count(self) -> int:
         return sum(len(b) for b in self.blocks)
 
+    def clone(self) -> "Function":
+        """A deep, independent copy (registers are shared value objects).
+
+        Lets one compilation stage fan out into many: the differential
+        tester snapshots a function once per pipeline stage and compiles
+        each snapshot onward under a different configuration.
+        """
+        fn = Function(self.name, self.params)
+        for block in self.blocks:
+            fn.add_block(block.clone())
+        fn._next_vreg = self._next_vreg
+        fn._next_label = self._next_label
+        fn.frame_size = self.frame_size
+        fn.ccm_high_water = self.ccm_high_water
+        fn.return_class = self.return_class
+        return fn
+
     def __repr__(self) -> str:
         return (f"<Function {self.name}: {len(self.blocks)} blocks, "
                 f"{self.instruction_count()} instrs>")
@@ -191,6 +213,18 @@ class Program:
     @property
     def entry(self) -> Function:
         return self.functions[self.entry_name]
+
+    def clone(self) -> "Program":
+        """A deep copy of every function; globals are shared (immutable
+        by convention: the simulator copies initial values into its own
+        memory, never back)."""
+        prog = Program(self.name)
+        for fn in self.functions.values():
+            prog.add_function(fn.clone())
+        for g in self.globals.values():
+            prog.add_global(g)
+        prog.entry_name = self.entry_name
+        return prog
 
     def __repr__(self) -> str:
         return (f"<Program {self.name}: {len(self.functions)} functions, "

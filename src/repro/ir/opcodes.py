@@ -139,14 +139,20 @@ class OpcodeInfo:
     is_load: bool = False
     commutative: bool = False
     has_symbol: bool = False
+    # May raise a runtime trap (divide by zero, shift out of range,
+    # f2i of a non-finite value).  Traps are observable behavior, so
+    # passes must not delete, duplicate, or speculate these.
+    can_trap: bool = False
 
 
 _I = RegClass.INT
 _F = RegClass.FLOAT
 
 _RR_INT = OpcodeInfo(1, 2, (_I,), (_I, _I))
+_RR_INT_TRAP = OpcodeInfo(1, 2, (_I,), (_I, _I), can_trap=True)
 _RR_INT_COMM = OpcodeInfo(1, 2, (_I,), (_I, _I), commutative=True)
 _RI_INT = OpcodeInfo(1, 1, (_I,), (_I,), has_imm=True)
+_RI_INT_TRAP = OpcodeInfo(1, 1, (_I,), (_I,), has_imm=True, can_trap=True)
 _RR_FLT = OpcodeInfo(1, 2, (_F,), (_F, _F))
 _RR_FLT_COMM = OpcodeInfo(1, 2, (_F,), (_F, _F), commutative=True)
 _FCMP = OpcodeInfo(1, 2, (_I,), (_F, _F))
@@ -161,19 +167,19 @@ INFO: dict = {
     Opcode.ADD: _RR_INT_COMM,
     Opcode.SUB: _RR_INT,
     Opcode.MULT: _RR_INT_COMM,
-    Opcode.DIV: _RR_INT,
-    Opcode.MOD: _RR_INT,
+    Opcode.DIV: _RR_INT_TRAP,
+    Opcode.MOD: _RR_INT_TRAP,
     Opcode.AND: _RR_INT_COMM,
     Opcode.OR: _RR_INT_COMM,
     Opcode.XOR: _RR_INT_COMM,
     Opcode.NOT: OpcodeInfo(1, 1, (_I,), (_I,)),
-    Opcode.LSHIFT: _RR_INT,
-    Opcode.RSHIFT: _RR_INT,
+    Opcode.LSHIFT: _RR_INT_TRAP,
+    Opcode.RSHIFT: _RR_INT_TRAP,
 
     Opcode.ADDI: _RI_INT,
     Opcode.SUBI: _RI_INT,
     Opcode.MULTI: _RI_INT,
-    Opcode.DIVI: _RI_INT,
+    Opcode.DIVI: _RI_INT_TRAP,
     Opcode.ANDI: _RI_INT,
     Opcode.ORI: _RI_INT,
     Opcode.XORI: _RI_INT,
@@ -190,7 +196,7 @@ INFO: dict = {
     Opcode.FADD: _RR_FLT_COMM,
     Opcode.FSUB: _RR_FLT,
     Opcode.FMULT: _RR_FLT_COMM,
-    Opcode.FDIV: _RR_FLT,
+    Opcode.FDIV: OpcodeInfo(1, 2, (_F,), (_F, _F), can_trap=True),
     Opcode.FNEG: OpcodeInfo(1, 1, (_F,), (_F,)),
     Opcode.FCMPEQ: _FCMP,
     Opcode.FCMPNE: _FCMP,
@@ -200,7 +206,7 @@ INFO: dict = {
     Opcode.FCMPGE: _FCMP,
 
     Opcode.I2F: OpcodeInfo(1, 1, (_F,), (_I,)),
-    Opcode.F2I: OpcodeInfo(1, 1, (_I,), (_F,)),
+    Opcode.F2I: OpcodeInfo(1, 1, (_I,), (_F,), can_trap=True),
 
     Opcode.LOAD: OpcodeInfo(1, 1, (_I,), (_I,), is_main_memory=True, is_load=True),
     Opcode.FLOAD: OpcodeInfo(1, 1, (_F,), (_I,), is_main_memory=True, is_load=True),

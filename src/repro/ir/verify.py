@@ -45,6 +45,30 @@ def verify_function(fn: Function, program: Program = None) -> None:
                     f"{fn.name}/{block.label}: phi after non-phi instruction")
             if not instr.is_phi:
                 seen_non_phi = True
+    _verify_defs(fn)
+
+
+def _verify_defs(fn: Function) -> None:
+    """Every virtual register read somewhere must be written somewhere.
+
+    Flow-insensitive on purpose: a value may be defined on only some
+    paths (phi inputs, loop-carried values), but a register with *no*
+    definition anywhere in the function is always a pass bug — typically
+    a dropped instruction or a rename applied to uses but not defs.
+    """
+    defined = {p for p in fn.params if isinstance(p, VirtualReg)}
+    for _, instr in fn.instructions():
+        for reg in instr.dsts:
+            if isinstance(reg, VirtualReg):
+                defined.add(reg)
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instructions):
+            for reg in instr.srcs:
+                if isinstance(reg, VirtualReg) and reg not in defined:
+                    raise VerificationError(
+                        f"{fn.name}/{block.label}[{idx}] "
+                        f"{instr.opcode.value}: src {reg} is never defined "
+                        f"in the function")
 
 
 def _verify_instruction(fn, label, idx, instr, labels, program) -> None:
@@ -90,6 +114,17 @@ def _verify_instruction(fn, label, idx, instr, labels, program) -> None:
                         Opcode.CCMLD, Opcode.FCCMLD):
         if not isinstance(instr.imm, int) or instr.imm < 0:
             raise VerificationError(f"{where}: bad slot offset {instr.imm!r}")
+
+    if instr.opcode in (Opcode.SPILL, Opcode.FSPILL, Opcode.RELOAD,
+                        Opcode.FRELOAD):
+        # stack spill slots must lie inside the declared spill area: an
+        # access past fn.frame_size reads or clobbers the caller's frame
+        reg = (instr.srcs or instr.dsts)[0]
+        end = instr.imm + reg.rclass.size_bytes
+        if end > fn.frame_size:
+            raise VerificationError(
+                f"{where}: stack slot [{instr.imm}, {end}) exceeds the "
+                f"declared {fn.frame_size}-byte spill area")
 
     if instr.opcode is Opcode.CALL and program is not None:
         if instr.symbol not in program.functions:

@@ -35,7 +35,19 @@ STACK_BASE = 0x8000_0000
 
 class SimulationError(RuntimeError):
     """The program performed an illegal operation (bad address, use of an
-    undefined or poisoned register, CCM overflow, ...)."""
+    undefined or poisoned register, CCM overflow, ...).
+
+    ``kind`` separates deterministic *program* traps (division by zero,
+    float-to-int of a non-finite value) from *machine* errors that
+    indicate a miscompile or a malformed program.  Program traps are
+    part of a program's observable behavior: the differential tester
+    requires every configuration to reproduce them identically, while a
+    machine error in compiled code is a divergence on its own.
+    """
+
+    def __init__(self, message: str, kind: str = "machine"):
+        super().__init__(message)
+        self.kind = kind
 
 
 class OutOfFuel(SimulationError):
@@ -145,6 +157,22 @@ class Simulator:
                     init = g.init[i]
                 self.memory[addr + i * g.element_size] = init
             addr += g.size_bytes
+
+    def globals_snapshot(self) -> Dict[str, tuple]:
+        """Current contents of every global array, by name.
+
+        The differential tester compares these across configurations:
+        a miscompile that corrupts memory without reaching the return
+        value (e.g. aliased spill slots flushed to a shared array) is
+        invisible to the return value alone.
+        """
+        snapshot: Dict[str, tuple] = {}
+        for g in self.program.globals.values():
+            base = self.global_base[g.name]
+            snapshot[g.name] = tuple(
+                self.memory[base + i * g.element_size]
+                for i in range(g.n_elements))
+        return snapshot
 
     # -- register access -------------------------------------------------------
 
@@ -270,10 +298,18 @@ class Simulator:
         elif op in _INT_BINOPS:
             a = self._read(frame, instr.srcs[0])
             b = self._read(frame, instr.srcs[1])
-            self._write(frame, instr.dsts[0], _INT_BINOPS[op](a, b))
+            try:
+                result = _INT_BINOPS[op](a, b)
+            except (ValueError, OverflowError) as exc:  # e.g. negative shift
+                raise SimulationError(f"{op.value}: {exc}", kind="trap")
+            self._write(frame, instr.dsts[0], result)
         elif op in _INT_IMMOPS:
             a = self._read(frame, instr.srcs[0])
-            self._write(frame, instr.dsts[0], _INT_IMMOPS[op](a, instr.imm))
+            try:
+                result = _INT_IMMOPS[op](a, instr.imm)
+            except (ValueError, OverflowError) as exc:
+                raise SimulationError(f"{op.value}: {exc}", kind="trap")
+            self._write(frame, instr.dsts[0], result)
         elif op is Opcode.NOT:
             self._write(frame, instr.dsts[0], ~self._read(frame, instr.srcs[0]))
         elif op in _FLOAT_BINOPS:
@@ -285,7 +321,11 @@ class Simulator:
         elif op is Opcode.I2F:
             self._write(frame, instr.dsts[0], float(self._read(frame, instr.srcs[0])))
         elif op is Opcode.F2I:
-            self._write(frame, instr.dsts[0], int(self._read(frame, instr.srcs[0])))
+            value = self._read(frame, instr.srcs[0])
+            if value != value or value in (float("inf"), float("-inf")):
+                raise SimulationError(
+                    f"f2i of non-finite value {value!r}", kind="trap")
+            self._write(frame, instr.dsts[0], int(value))
 
         elif op in (Opcode.LOAD, Opcode.FLOAD):
             addr = self._read(frame, instr.srcs[0])
@@ -430,7 +470,7 @@ class Simulator:
 
 def _int_div(a: int, b: int) -> int:
     if b == 0:
-        raise SimulationError("integer division by zero")
+        raise SimulationError("integer division by zero", kind="trap")
     q = abs(a) // abs(b)
     return q if (a >= 0) == (b >= 0) else -q
 
@@ -441,7 +481,7 @@ def _int_mod(a: int, b: int) -> int:
 
 def _float_div(a: float, b: float) -> float:
     if b == 0.0:
-        raise SimulationError("float division by zero")
+        raise SimulationError("float division by zero", kind="trap")
     return a / b
 
 

@@ -1,8 +1,10 @@
 """Dead-code elimination (mark-sweep over SSA def-use chains).
 
 Roots are instructions with observable effects: stores, calls, control
-flow, returns, and spill/CCM traffic.  Everything not transitively
-needed by a root is deleted.
+flow, returns, spill/CCM traffic — and instructions that can trap
+(division, shift, f2i), since a trap is observable behavior even when
+the result is dead.  Everything not transitively needed by a root is
+deleted.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ def dce(fn: Function) -> int:
     worklist = deque()
     for block in fn.blocks:
         for idx, instr in enumerate(block.instructions):
-            if instr.opcode in _EFFECTFUL or any(
+            if instr.opcode in _EFFECTFUL or instr.meta.can_trap or any(
                     not isinstance(d, VirtualReg) for d in instr.dsts):
                 site = (block.label, idx)
                 live.add(site)

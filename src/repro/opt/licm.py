@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis import CFG, DominatorTree, LoopInfo
 from ..analysis.loops import Loop
-from ..ir import Function, Instruction, Opcode, VirtualReg
+from ..ir import Function, Instruction, Opcode, VirtualReg, info
 
 _PURE = {
     Opcode.LOADI, Opcode.LOADFI, Opcode.LOADG, Opcode.MOV, Opcode.FMOV,
@@ -38,11 +38,11 @@ _PURE = {
     Opcode.FCMPEQ, Opcode.FCMPNE, Opcode.FCMPLT, Opcode.FCMPLE,
     Opcode.FCMPGT, Opcode.FCMPGE, Opcode.I2F, Opcode.F2I,
 }
-# DIV/MOD/FDIV can fault (divide by zero): hoisting one out of a loop
+# Trapping ops (division, shifts, f2i): hoisting one out of a loop
 # that may execute zero times would introduce a fault.  Only hoist them
 # from blocks that dominate every loop exit — simplified here to "never
 # hoist faulting ops", the conservative choice.
-_FAULTING = {Opcode.DIV, Opcode.MOD, Opcode.DIVI, Opcode.FDIV}
+_FAULTING = {op for op in _PURE if info(op).can_trap}
 
 _LOADS = {Opcode.LOAD, Opcode.FLOAD, Opcode.LOADAI, Opcode.FLOADAI}
 _STORES = {Opcode.STORE, Opcode.FSTORE, Opcode.STOREAI, Opcode.FSTOREAI}

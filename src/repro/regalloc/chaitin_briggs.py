@@ -109,6 +109,8 @@ class ChaitinBriggsAllocator:
         self.rematerialize = rematerialize
         self.no_spill: Set[VirtualReg] = set()
         self.result = AllocationResult(fn)
+        # per-coalesce cache of _color_degree, see _node_degree
+        self._degree_cache: Dict[object, int] = {}
 
     # -- public entry --------------------------------------------------------
 
@@ -143,6 +145,7 @@ class ChaitinBriggsAllocator:
         """Conservatively merge move-related nodes in the graph, then
         rewrite the code once.  Returns the number of merges."""
         alias: Dict[object, object] = {}
+        self._degree_cache = {}
 
         def find(node):
             while node in alias:
@@ -195,7 +198,13 @@ class ChaitinBriggsAllocator:
             return 0  # CCM locations never constrain coloring
         if isinstance(node, PhysReg):
             return math.inf  # precolored nodes are always significant
-        return self._color_degree(graph, node)
+        # degrees only change when _merge_nodes runs, which evicts the
+        # affected entries — every other lookup hits the cache
+        degree = self._degree_cache.get(node)
+        if degree is None:
+            degree = self._degree_cache[node] = \
+                self._color_degree(graph, node)
+        return degree
 
     @staticmethod
     def _color_degree(graph: InterferenceGraph, node) -> int:
@@ -205,7 +214,10 @@ class ChaitinBriggsAllocator:
                    if not isinstance(t, PseudoNode))
 
     def _merge_nodes(self, graph: InterferenceGraph, a, b) -> None:
+        self._degree_cache.pop(a, None)
+        self._degree_cache.pop(b, None)
         for t in list(graph.neighbors(b)):
+            self._degree_cache.pop(t, None)
             graph.adj[t].discard(b)
             if isinstance(t, PseudoNode):
                 graph.add_pseudo_edge(a, t)

@@ -1,0 +1,67 @@
+"""Printer/parser fixed point over the fuzzer's program space.
+
+Every generated program must survive ``format -> parse -> format``
+unchanged, both as frontend output (virtual registers, phis from the
+structured lowering) and fully compiled (physical registers, spill and
+CCM opcodes, frame directives).  The differential runner leans on this:
+its stage cache snapshots rely on the textual form being lossless.
+"""
+
+import pytest
+
+from repro.difftest import generate_source
+from repro.difftest.runner import GEOMETRIES, DiffConfig, compile_config
+from repro.frontend import compile_source
+from repro.ir import format_program, parse_program, verify_program
+from repro.machine import Simulator
+
+ROUNDTRIP_SEEDS = range(200)
+
+
+@pytest.mark.parametrize("seed", list(ROUNDTRIP_SEEDS))
+def test_frontend_ir_round_trips(seed):
+    source = generate_source(seed)
+    prog = compile_source(source)
+    text = format_program(prog)
+    reparsed = parse_program(text)
+    verify_program(reparsed)
+    assert format_program(reparsed) == text
+
+
+@pytest.mark.parametrize("seed", [0, 3, 7, 11])
+@pytest.mark.parametrize("variant",
+                         ["baseline", "postpass", "postpass_cg", "integrated"])
+def test_compiled_ir_round_trips(seed, variant):
+    config = DiffConfig(variant, optimize=True, compaction=True,
+                        ccm_bytes=128)
+    compiled, machine = compile_config(
+        compile_source(generate_source(seed)), config)
+    text = format_program(compiled)
+    reparsed = parse_program(text)
+    verify_program(reparsed)
+    assert format_program(reparsed) == text
+    # and the reparsed program still runs identically
+    want = Simulator(compiled, machine, poison_caller_saved=True).run().value
+    got = Simulator(reparsed, machine, poison_caller_saved=True).run().value
+    assert got == pytest.approx(want, rel=1e-12, nan_ok=True)
+
+
+def test_generation_is_deterministic():
+    assert generate_source(42) == generate_source(42)
+    assert generate_source(42) != generate_source(43)
+
+
+def test_small_geometry_actually_spills():
+    """The difftest default geometry must force spill code, or the CCM
+    paths the oracle exists to test would go unexercised."""
+    config = DiffConfig("baseline", optimize=False, compaction=False,
+                        ccm_bytes=512)
+    spilled = 0
+    for seed in range(10):
+        compiled, _ = compile_config(
+            compile_source(generate_source(seed)), config)
+        listing = format_program(compiled)
+        if "spill" in listing or "reload" in listing:
+            spilled += 1
+    assert spilled >= 5, f"only {spilled}/10 seeds spilled under " \
+                         f"{GEOMETRIES['small']}"

@@ -89,6 +89,53 @@ class TestOperandShapes:
         with pytest.raises(VerificationError, match="slot offset"):
             verify_function(fn)
 
+    def test_spill_past_frame(self):
+        fn = _fn_with([
+            Instruction(Opcode.LOADI, [_v(0)], [], imm=1),
+            Instruction(Opcode.SPILL, [], [_v(0)], imm=8),
+            Instruction(Opcode.RET),
+        ])
+        fn.frame_size = 8
+        with pytest.raises(VerificationError, match="spill area"):
+            verify_function(fn)
+
+    def test_reload_respects_element_size(self):
+        # an 8-byte float slot at offset 0 needs frame_size >= 8
+        fn = _fn_with([
+            Instruction(Opcode.FRELOAD, [_v(0, RegClass.FLOAT)], [], imm=0),
+            Instruction(Opcode.RET),
+        ])
+        fn.frame_size = 4
+        with pytest.raises(VerificationError, match="spill area"):
+            verify_function(fn)
+        fn.frame_size = 8
+        verify_function(fn)
+
+    def test_spill_inside_frame_ok(self):
+        fn = _fn_with([
+            Instruction(Opcode.LOADI, [_v(0)], [], imm=1),
+            Instruction(Opcode.SPILL, [], [_v(0)], imm=4),
+            Instruction(Opcode.RET),
+        ])
+        fn.frame_size = 8
+        verify_function(fn)
+
+    def test_undefined_source_register(self):
+        fn = _fn_with([
+            Instruction(Opcode.LOADI, [_v(0)], [], imm=1),
+            Instruction(Opcode.ADD, [_v(1)], [_v(0), _v(9)]),
+            Instruction(Opcode.RET),
+        ])
+        with pytest.raises(VerificationError, match="never defined"):
+            verify_function(fn)
+
+    def test_param_counts_as_definition(self):
+        fn = Function("f", params=[_v(7)])
+        block = fn.new_block("entry")
+        block.append(Instruction(Opcode.ADDI, [_v(0)], [_v(7)], imm=1))
+        block.append(Instruction(Opcode.RET))
+        verify_function(fn)
+
     def test_unknown_branch_target(self):
         fn = _fn_with([Instruction(Opcode.JUMP, labels=["nowhere"])])
         with pytest.raises(VerificationError, match="branch target"):

@@ -230,6 +230,26 @@ entry:
 """)
         assert dce(prog.entry) == 0
 
+    def test_keeps_dead_trapping_division(self):
+        """A trap is observable even when the quotient is dead: deleting
+        the div would turn a trapping program into a returning one
+        (found by the differential fuzzer, seed 49)."""
+        prog = _ssa_prog("""
+.program p
+.func main()
+entry:
+    loadI 1 => %v0
+    loadI 0 => %v1
+    div %v0, %v1 => %v2
+    loadI 9 => %v3
+    ret %v3
+.endfunc
+""")
+        assert dce(prog.entry) == 0
+        assert _op_count(prog.entry, Opcode.DIV) == 1
+        # the operands feeding the trapping div stay live through it
+        assert _op_count(prog.entry, Opcode.LOADI) == 3
+
 
 class TestPeephole:
     @pytest.mark.parametrize("op,imm,expect", [
