@@ -5,12 +5,17 @@ Usage::
     python -m repro run kernel.mfl [--variant postpass_cg] [--ccm 512]
                                    [--args 1 2.5] [--stats]
     python -m repro emit kernel.mfl [--variant baseline] [--stage ...]
-    python -m repro difftest [--seeds N] [--budget S] [--profile nightly]
+    python -m repro difftest [--seeds N] [-j N] [--profile nightly]
+    python -m repro harness table2 [-j N] [--stats]
 
 ``emit`` prints the ILOC listing at a chosen stage: ``frontend`` (raw
 lowering), ``opt`` (after scalar optimization), or ``asm`` (fully
 allocated, the default).  ``difftest`` runs the differential-testing
-fuzzer over the allocator config lattice (see :mod:`repro.difftest`).
+fuzzer over the allocator config lattice (see :mod:`repro.difftest`);
+``harness`` regenerates the paper's tables and figures (see
+:mod:`repro.harness.cli`).  Both are sweep commands: they take
+``--jobs N`` / ``-j N`` to fan out over worker processes, ``--stats``
+for engine metrics, and share the on-disk artifact cache.
 """
 
 from __future__ import annotations
@@ -45,6 +50,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # the differential tester owns its own argument set
         from .difftest.cli import main as difftest_main
         return difftest_main(argv[1:])
+    if argv and argv[0] == "harness":
+        # so sweeps are reachable from the one entry point too
+        from .harness.cli import main as harness_main
+        return harness_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro", description="MFL compiler with CCM spill allocation")
@@ -63,6 +72,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("difftest",
                    help="differential-testing fuzzer over the allocator "
                         "config lattice (python -m repro difftest --help)")
+    sub.add_parser("harness",
+                   help="regenerate the paper's tables and figures "
+                        "(python -m repro harness --help)")
 
     emit_cmd = sub.add_parser("emit", help="print the ILOC listing")
     emit_cmd.add_argument("file")

@@ -53,7 +53,9 @@ class CcmLocation(PseudoNode):
                 and other.offset == self.offset and other.size == self.size)
 
     def __hash__(self) -> int:
-        return hash(("ccm", self.offset, self.size))
+        # integers only: a string component would make the hash (and so
+        # graph-set iteration order) PYTHONHASHSEED-dependent
+        return hash((0x43434D, self.offset, self.size))
 
     def overlaps(self, offset: int, size: int) -> bool:
         return self.offset < offset + size and offset < self.offset + self.size

@@ -20,6 +20,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..exec import ArtifactCache, SweepStats, default_cache_dir, default_jobs
 from .corpus import save_corpus_entry
 from .gen import generate_source
 from .reduce import reduce_source
@@ -67,6 +68,22 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None
                              "heavy spilling; default) or 'paper' (64 regs)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the JSON report here ('-' for stdout)")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        metavar="N",
+                        help="worker processes (default: all cores; "
+                             "-j 1 is the deterministic serial path)")
+    parser.add_argument("--stats", metavar="PATH", nargs="?", const="-",
+                        default=None,
+                        help="write sweep statistics JSON (jobs, artifact-"
+                             "cache hit rate, per-stage wall/CPU time) to "
+                             "PATH, or stderr when PATH is omitted")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="artifact cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-ccm)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk artifact cache")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="empty the artifact cache before running")
     parser.add_argument("--reduce", action="store_true",
                         help="minimize each divergent program")
     parser.add_argument("--save-corpus", action="store_true",
@@ -93,11 +110,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configs = config_lattice(tuple(args.ccm), geometry=args.machine)
 
+    artifacts = (None if args.no_cache
+                 else ArtifactCache(args.cache_dir or default_cache_dir()))
+    if args.clear_cache and artifacts is not None:
+        artifacts.clear()
+
     if args.seed is not None:
         source = generate_source(args.seed)
         if args.emit_source:
             print(source)
-        result = check_source(source, configs, seed=args.seed)
+        result = check_source(source, configs, seed=args.seed,
+                              artifacts=artifacts)
         return _report_single(args, result, configs)
 
     n_seeds, start, budget = PROFILES[args.profile]
@@ -116,8 +139,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif result.skipped:
             print(f"skip seed={seed}: {result.skipped}", file=sys.stderr)
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    stats = SweepStats()
     report = run_fuzz(range(start, start + n_seeds), configs,
-                      budget_s=budget, progress=progress)
+                      budget_s=budget, progress=progress,
+                      jobs=jobs, artifacts=artifacts, stats=stats)
+    if args.stats == "-":
+        print(stats.format_json(), file=sys.stderr)
+    elif args.stats:
+        with open(args.stats, "w") as handle:
+            handle.write(stats.format_json() + "\n")
 
     reduced: dict = {}
     if (args.reduce or args.save_corpus) and report.divergences:

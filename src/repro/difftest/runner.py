@@ -24,6 +24,7 @@ semantic equality the runner checks sanity invariants:
 
 from __future__ import annotations
 
+import functools
 import json
 import time
 from dataclasses import dataclass, field
@@ -31,6 +32,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ccm import (allocate_function_integrated, compact_spill_memory,
                    promote_spills_postpass)
+from ..exec import ArtifactCache, StageClock, SweepStats, run_jobs
+from ..exec.compare import values_match as _values_match
 from ..frontend import compile_source
 from ..ir import Program, verify_program
 from ..machine import MachineConfig, RunStats, SimulationError, Simulator
@@ -294,15 +297,6 @@ def execute_reference(source: str) -> Tuple[Optional[Outcome], Optional[str]]:
         return None, f"reference machine error: {exc}"
 
 
-def _values_match(a, b) -> bool:
-    if isinstance(a, float) and isinstance(b, float):
-        if a != a and b != b:       # NaN == NaN for oracle purposes
-            return True
-        scale = max(1.0, abs(a), abs(b))
-        return abs(a - b) <= 1e-9 * scale
-    return type(a) is type(b) and a == b
-
-
 def _globals_match(a: Dict[str, tuple], b: Dict[str, tuple]) -> Optional[str]:
     for name in a:
         va, vb = a[name], b.get(name)
@@ -340,16 +334,37 @@ def _check_invariants(config: DiffConfig, stats: RunStats,
 FaultFn = Optional[Callable[[Program], None]]
 
 
+def _lattice_descriptor(configs: Sequence[DiffConfig]) -> str:
+    """Stable artifact-cache config component for one lattice."""
+    return "difftest-lattice:" + ";".join(c.name for c in configs)
+
+
 def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
                  seed: Optional[int] = None,
-                 fault: FaultFn = None) -> SeedResult:
+                 fault: FaultFn = None,
+                 artifacts: Optional[ArtifactCache] = None) -> SeedResult:
     """Differentially test one MFL source against the whole lattice.
 
     ``fault``, if given, is applied to each compiled program before
     execution — used to validate that the oracle detects known
     miscompiles (see :mod:`repro.difftest.faults`).
+
+    ``artifacts``, if given, is consulted before doing any work and
+    updated after: an unchanged (source, lattice, code version) triple
+    replays its recorded :class:`SeedResult` without compiling anything.
+    Fault-injected runs are never cached — the fault function is not
+    part of the key.
     """
     configs = list(configs) if configs is not None else config_lattice()
+    key = None
+    if artifacts is not None and fault is None:
+        key = artifacts.key(source, _lattice_descriptor(configs))
+        hit, cached = artifacts.get(key)
+        if hit:
+            cached.seed = seed
+            for divergence in cached.divergences:
+                divergence.seed = seed
+            return cached
     result = SeedResult(seed, n_configs=len(configs))
 
     try:
@@ -357,12 +372,12 @@ def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
         verify_program(base)
     except Exception as exc:
         result.skipped = f"reference failed to compile: {exc}"
-        return result
+        return _record(artifacts, key, result)
     try:
         reference = _execute(base, MachineConfig(), poison=False)
     except SimulationError as exc:
         result.skipped = f"reference machine error: {exc}"
-        return result
+        return _record(artifacts, key, result)
 
     # dynamic stack-spill traffic of the baseline per opt setting, for
     # the post-pass conservation invariant
@@ -376,6 +391,13 @@ def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
             divergence.seed = seed
             divergence.source = source
             result.divergences.append(divergence)
+    return _record(artifacts, key, result)
+
+
+def _record(artifacts: Optional[ArtifactCache], key: Optional[str],
+            result: SeedResult) -> SeedResult:
+    if artifacts is not None and key is not None:
+        artifacts.put(key, result)
     return result
 
 
@@ -434,31 +456,74 @@ def _check_one(stages: _StageCache, config: DiffConfig, reference: Outcome,
     return None
 
 
-def check_seed(seed: int, configs: Optional[Sequence[DiffConfig]] = None
-               ) -> SeedResult:
+def check_seed(seed: int, configs: Optional[Sequence[DiffConfig]] = None,
+               artifacts: Optional[ArtifactCache] = None) -> SeedResult:
     """Generate the seed's program and differentially test it."""
-    return check_source(generate_source(seed), configs, seed=seed)
+    return check_source(generate_source(seed), configs, seed=seed,
+                        artifacts=artifacts)
+
+
+def _seed_job(seed: int, configs: Sequence[DiffConfig],
+              cache_root: Optional[str], cache_version: Optional[str]
+              ) -> Tuple[SeedResult, dict]:
+    """One pool job: check one seed, with timing and artifact caching.
+
+    Module-level so it pickles across the process boundary; the worker
+    opens its own handle on the shared cache directory (content-
+    addressed keys + atomic writes make concurrent use safe).
+    """
+    clock = StageClock()
+    artifacts = (ArtifactCache(cache_root, version=cache_version)
+                 if cache_root is not None else None)
+    with clock.stage("generate"):
+        source = generate_source(seed)
+    with clock.stage("check"):
+        result = check_source(source, configs, seed=seed,
+                              artifacts=artifacts)
+    payload = clock.to_payload(
+        cache_hit=artifacts is not None and artifacts.hits > 0)
+    if artifacts is not None:
+        payload["cache_errors"] = artifacts.errors
+    return result, payload
 
 
 def run_fuzz(seeds: Sequence[int],
              configs: Optional[Sequence[DiffConfig]] = None,
              budget_s: Optional[float] = None,
-             progress: Optional[Callable[[int, SeedResult], None]] = None
-             ) -> FuzzReport:
-    """Fuzz a batch of seeds, stopping early when the budget runs out."""
+             progress: Optional[Callable[[int, SeedResult], None]] = None,
+             jobs: int = 1,
+             artifacts: Optional[ArtifactCache] = None,
+             stats: Optional[SweepStats] = None) -> FuzzReport:
+    """Fuzz a batch of seeds, stopping early when the budget runs out.
+
+    ``jobs > 1`` fans seeds out over worker processes; results are
+    consumed in seed order, so the report (and every ``progress`` call)
+    is identical to the serial run.  ``artifacts`` enables the on-disk
+    cache; ``stats`` collects per-stage timing and hit rates.
+    """
     configs = list(configs) if configs is not None else config_lattice()
     report = FuzzReport()
     start = time.time()
-    for seed in seeds:
-        if budget_s is not None and time.time() - start > budget_s:
-            break
-        result = check_seed(seed, configs)
+    over_budget = (None if budget_s is None
+                   else lambda: time.time() - start > budget_s)
+    job = functools.partial(
+        _seed_job, configs=configs,
+        cache_root=artifacts.root if artifacts is not None else None,
+        cache_version=artifacts.version if artifacts is not None else None)
+    if stats is not None:
+        stats.jobs = max(jobs, 1)
+    for seed, (result, payload) in run_jobs(job, seeds, jobs=jobs,
+                                            stop_when=over_budget):
         report.seeds_run += 1
         if result.skipped is not None:
             report.seeds_skipped += 1
         report.configs_run += result.n_configs
         report.divergences.extend(result.divergences)
+        if stats is not None:
+            stats.merge_job(payload)
         if progress is not None:
             progress(seed, result)
     report.elapsed_s = time.time() - start
+    if stats is not None:
+        stats.wall_s += report.elapsed_s
     return report

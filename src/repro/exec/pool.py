@@ -1,0 +1,68 @@
+"""Deterministic fan-out of independent jobs over worker processes.
+
+The engine's one contract: **results stream back in submission order**,
+regardless of completion order, so a parallel sweep is bit-identical to
+the serial one (same rows, same order, same JSON).  ``-j 1`` never
+touches ``multiprocessing`` at all — it is the plain in-process loop,
+and the reference the equivalence tests compare against.
+
+Job functions cross a process boundary, so they must be picklable:
+module-level functions (or ``functools.partial`` over one) taking
+picklable arguments and returning picklable results.  Jobs here return
+plain result dataclasses (outcomes + statistics), never live
+``Program`` objects.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Iterator, Optional, Tuple
+
+__all__ = ["default_jobs", "run_jobs"]
+
+
+def default_jobs() -> int:
+    """Default worker count for ``--jobs``: every core the host has."""
+    return os.cpu_count() or 1
+
+
+def run_jobs(fn: Callable, items: Iterable, jobs: int = 1,
+             stop_when: Optional[Callable[[], bool]] = None
+             ) -> Iterator[Tuple[object, object]]:
+    """Apply ``fn`` to each item, yielding ``(item, result)`` in order.
+
+    ``jobs <= 1`` runs serially in-process.  ``stop_when`` is polled
+    before each yielded result; once true, remaining work is abandoned
+    (pending futures are cancelled) — this is how wall-clock budgets
+    stop a sweep early without tearing down mid-job.
+
+    A job that raises propagates its exception at the point the item
+    would have been yielded, in both modes.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        for item in items:
+            if stop_when is not None and stop_when():
+                return
+            yield item, fn(item)
+        return
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+    except (ImportError, OSError, ValueError):
+        # hosts without working multiprocessing (restricted /dev/shm,
+        # missing semaphores) degrade to the serial path
+        yield from run_jobs(fn, items, jobs=1, stop_when=stop_when)
+        return
+
+    with pool:
+        futures = [pool.submit(fn, item) for item in items]
+        try:
+            for item, future in zip(items, futures):
+                if stop_when is not None and stop_when():
+                    return
+                yield item, future.result()
+        finally:
+            for future in futures:
+                future.cancel()

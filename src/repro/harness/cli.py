@@ -11,6 +11,13 @@ Usage::
     python -m repro.harness ablation
     python -m repro.harness all
     python -m repro.harness difftest [--seeds N] [--budget S] ...
+
+Every sweep target accepts ``--jobs N`` / ``-j N`` (default: all
+cores) to fan compile+simulate jobs out over worker processes, and
+``--stats`` to dump engine metrics (jobs, artifact-cache hit rate,
+per-stage wall/CPU time) as JSON.  Finished results persist in the
+on-disk artifact cache (``--cache-dir``, ``--no-cache``,
+``--clear-cache``), so a warm re-run is near-free.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..exec import ArtifactCache, SweepStats, default_cache_dir, default_jobs
 from .ablation import run_ablation
 from .experiment import ExperimentRunner
 from .tables import (figure, program_runner, table1, table2, table3, table4)
@@ -49,22 +57,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="CCM size in bytes for table2 (default 512)")
     parser.add_argument("--routines", type=str, default="",
                         help="comma-separated routine subset")
+    parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all cores; "
+                             "-j 1 is the deterministic serial path)")
+    parser.add_argument("--stats", metavar="PATH", nargs="?", const="-",
+                        default=None,
+                        help="write sweep statistics JSON to PATH, or "
+                             "stderr when PATH is omitted")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="artifact cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-ccm)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk artifact cache")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="empty the artifact cache before running")
     args = parser.parse_args(argv)
 
     workloads = _routine_list(args.routines)
-    runner = ExperimentRunner()
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    artifacts = (None if args.no_cache
+                 else ArtifactCache(args.cache_dir or default_cache_dir()))
+    if args.clear_cache and artifacts is not None:
+        artifacts.clear()
+    runner = ExperimentRunner(jobs=jobs, artifacts=artifacts)
     start = time.time()
 
     if args.target == "experiments":
         from .report import main as report_main
-        return report_main()
+        return report_main(jobs=jobs, artifacts=artifacts)
 
     targets = ([args.target] if args.target != "all" else
                ["table1", "table2", "table3", "table4", "fig3", "fig4",
                 "ablation"])
     for target in targets:
         if target == "table1":
-            print(table1(workloads).format())
+            print(table1(workloads, jobs=jobs).format())
         elif target == "table2":
             print(table2(runner, args.ccm, workloads).format())
         elif target == "table3":
@@ -72,18 +99,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif target == "table4":
             print(table4(runner, workloads).format())
         elif target == "fig3":
-            fig = figure(program_runner, 512)
+            fig = figure(program_runner(jobs=jobs, artifacts=artifacts), 512)
             print(fig.format())
             print()
             print(fig.render_bars())
         elif target == "fig4":
-            fig = figure(program_runner, 1024)
+            fig = figure(program_runner(jobs=jobs, artifacts=artifacts),
+                         1024)
             print(fig.format())
             print()
             print(fig.render_bars())
         elif target == "ablation":
-            print(run_ablation(workloads).format())
+            print(run_ablation(workloads, jobs=jobs, artifacts=artifacts,
+                               stats=runner.stats).format())
         print()
+
+    runner.stats.wall_s += time.time() - start
+    if args.stats == "-":
+        print(runner.stats.format_json(), file=sys.stderr)
+    elif args.stats:
+        with open(args.stats, "w") as handle:
+            handle.write(runner.stats.format_json() + "\n")
     print(f"[{time.time() - start:.0f}s]", file=sys.stderr)
     return 0
 

@@ -11,17 +11,27 @@ Variants (the paper's four columns):
 * ``integrated``     — CCM spilling inside the allocator ("Integrated")
 
 Results are memoized per (workload, variant, CCM size) because every
-table and figure slices the same underlying runs.
+table and figure slices the same underlying runs.  Under the in-memory
+memo sit the two layers of :mod:`repro.exec`: ``jobs > 1`` fans
+uncached (workload, variant) jobs out over worker processes, and an
+:class:`~repro.exec.ArtifactCache` persists finished results across
+CLI invocations, keyed by the workload's printed IR + the pipeline
+configuration + the package code version.  Both layers are exact: a
+parallel or cache-served sweep reports bit-identical rows to a cold
+serial one.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ccm import (allocate_function_integrated, compact_spill_memory,
                    promote_spills_postpass)
-from ..ir import Program, verify_program
+from ..exec import ArtifactCache, StageClock, SweepStats, run_jobs
+from ..exec.compare import values_match
+from ..ir import Program, format_program, verify_program
 from ..machine import (DataCache, MachineConfig, RunStats, Simulator,
                        PAPER_MACHINE_512, PAPER_MACHINE_1024)
 from ..opt import optimize_program
@@ -29,6 +39,10 @@ from ..regalloc import allocate_function, lower_calling_convention
 from ..workloads.suite import build_routine, suite_names
 
 VARIANTS = ("baseline", "postpass", "postpass_cg", "integrated")
+
+#: backwards-compatible alias; the definition lives in repro.exec.compare
+#: so the harness verifier and the difftest oracle share one tolerance
+_values_match = values_match
 
 
 @dataclass
@@ -51,6 +65,22 @@ class VariantResult:
     def memory_cycles(self) -> int:
         return self.stats.memory_cycles
 
+    def to_json(self) -> dict:
+        """Stable JSON row (used by the equivalence tests and --stats)."""
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "ccm_bytes": self.ccm_bytes,
+            "value": repr(self.value),
+            "cycles": self.stats.cycles,
+            "memory_cycles": self.stats.memory_cycles,
+            "instructions": self.stats.instructions,
+            "spill_traffic": self.stats.spill_traffic,
+            "ccm_traffic": self.stats.ccm_traffic,
+            "spill_bytes": dict(sorted(self.spill_bytes.items())),
+            "ccm_high_water": dict(sorted(self.ccm_high_water.items())),
+        }
+
 
 def compile_program(prog: Program, machine: MachineConfig,
                     variant: str) -> None:
@@ -72,20 +102,105 @@ def compile_program(prog: Program, machine: MachineConfig,
     verify_program(prog)
 
 
+def _reference_run(prog: Program):
+    """Unoptimized, unallocated execution: the semantic ground truth."""
+    return Simulator(prog).run().value
+
+
+def _variant_descriptor(variant: str, machine: MachineConfig,
+                        verify_values: bool) -> str:
+    """Artifact-cache pipeline-config component for one harness job."""
+    return (f"harness:{variant}:verify={verify_values}:{machine!r}")
+
+
+def _variant_job(workload: str, variant: str, machine: MachineConfig,
+                 build: Callable[[str], Program], verify_values: bool,
+                 cache_root: Optional[str], cache_version: Optional[str],
+                 references: Optional[Dict[str, object]] = None
+                 ) -> Tuple["VariantResult", dict, object]:
+    """One pool job: build, compile, simulate, verify one configuration.
+
+    Module-level so it pickles across the process boundary.  Returns
+    ``(result, timing payload, reference value)`` — the reference value
+    comes back so the parent can memoize it for later variants of the
+    same workload.
+    """
+    clock = StageClock()
+    artifacts = (ArtifactCache(cache_root, version=cache_version)
+                 if cache_root is not None else None)
+
+    with clock.stage("build"):
+        prog = build(workload)
+
+    key = ref_key = None
+    reference = (references or {}).get(workload)
+    if artifacts is not None:
+        source_text = format_program(prog)
+        key = artifacts.key(source_text,
+                            _variant_descriptor(variant, machine,
+                                                verify_values))
+        ref_key = artifacts.key(source_text, "harness:reference")
+        hit, cached = artifacts.get(key)
+        if hit:
+            payload = clock.to_payload(cache_hit=True)
+            payload["cache_errors"] = artifacts.errors
+            return cached, payload, reference
+        if reference is None and verify_values:
+            ref_hit, ref_cached = artifacts.get(ref_key)
+            if ref_hit:
+                reference = ref_cached
+
+    if verify_values and reference is None:
+        with clock.stage("reference"):
+            reference = _reference_run(prog.clone())
+        if artifacts is not None:
+            artifacts.put(ref_key, reference)
+
+    with clock.stage("compile"):
+        compile_program(prog, machine, variant)
+    with clock.stage("simulate"):
+        run = Simulator(prog, machine, poison_caller_saved=True).run()
+    if verify_values and not values_match(run.value, reference):
+        raise AssertionError(
+            f"{workload}/{variant}: value {run.value!r} diverged "
+            f"from reference {reference!r}")
+    result = VariantResult(
+        workload, variant, machine.ccm_bytes, run.value, run.stats,
+        spill_bytes={name: fn.frame_size
+                     for name, fn in prog.functions.items()},
+        ccm_high_water={name: fn.ccm_high_water
+                        for name, fn in prog.functions.items()})
+    if artifacts is not None:
+        artifacts.put(key, result)
+    payload = clock.to_payload(cache_hit=False)
+    if artifacts is not None:
+        payload["cache_errors"] = artifacts.errors
+    return result, payload, reference
+
+
 @dataclass
 class ExperimentRunner:
-    """Compiles and simulates workloads, with memoization."""
+    """Compiles and simulates workloads, with memoization.
+
+    ``jobs`` sets the default fan-out for :meth:`run_all` (1 = serial
+    in-process).  ``artifacts`` plugs in the persistent on-disk cache;
+    ``stats`` accumulates per-stage timing and cache hit rates across
+    everything this runner executes.
+    """
 
     machine_512: MachineConfig = PAPER_MACHINE_512
     machine_1024: MachineConfig = PAPER_MACHINE_1024
     build: Callable[[str], Program] = None
     verify_values: bool = True
+    jobs: int = 1
+    artifacts: Optional[ArtifactCache] = None
 
     def __post_init__(self):
         if self.build is None:
             self.build = build_routine
         self._cache: Dict[Tuple[str, str, int], VariantResult] = {}
         self._reference: Dict[str, object] = {}
+        self.stats = SweepStats(jobs=max(self.jobs, 1))
 
     def machine(self, ccm_bytes: int) -> MachineConfig:
         if ccm_bytes == 512:
@@ -97,17 +212,48 @@ class ExperimentRunner:
     def reference_value(self, workload: str):
         """Unoptimized, unallocated execution: the semantic ground truth."""
         if workload not in self._reference:
-            prog = self.build(workload)
-            self._reference[workload] = Simulator(prog).run().value
+            self._reference[workload] = _reference_run(self.build(workload))
         return self._reference[workload]
+
+    def _job(self, variant: str, ccm_bytes: int) -> Callable:
+        return functools.partial(
+            _variant_job, variant=variant, machine=self.machine(ccm_bytes),
+            build=self.build, verify_values=self.verify_values,
+            cache_root=(self.artifacts.root
+                        if self.artifacts is not None else None),
+            cache_version=(self.artifacts.version
+                           if self.artifacts is not None else None),
+            references=dict(self._reference))
+
+    def _absorb(self, key: Tuple[str, str, int], result: VariantResult,
+                payload: dict, reference: object) -> None:
+        workload = key[0]
+        self.stats.merge_job(payload)
+        if reference is not None and workload not in self._reference:
+            self._reference[workload] = reference
+        self._cache[key] = result
 
     def run(self, workload: str, variant: str,
             ccm_bytes: int = 512, cache: Optional[DataCache] = None
             ) -> VariantResult:
+        if cache is not None:
+            # A caller-supplied DataCache changes the timing model, so
+            # these runs bypass both memo layers; reset it so tag state
+            # and hit/miss statistics never leak from a previous run
+            # (reusing a warm cache used to skew ablation numbers).
+            cache.reset()
+            return self._run_with_data_cache(workload, variant, ccm_bytes,
+                                             cache)
         key = (workload, variant, ccm_bytes)
-        if cache is None and key in self._cache:
-            return self._cache[key]
+        if key not in self._cache:
+            result, payload, reference = self._job(variant, ccm_bytes)(
+                workload)
+            self._absorb(key, result, payload, reference)
+        return self._cache[key]
 
+    def _run_with_data_cache(self, workload: str, variant: str,
+                             ccm_bytes: int,
+                             cache: DataCache) -> VariantResult:
         machine = self.machine(ccm_bytes)
         prog = self.build(workload)
         compile_program(prog, machine, variant)
@@ -115,42 +261,54 @@ class ExperimentRunner:
         run = sim.run()
         if self.verify_values:
             ref = self.reference_value(workload)
-            if not _values_match(run.value, ref):
+            if not values_match(run.value, ref):
                 raise AssertionError(
                     f"{workload}/{variant}: value {run.value!r} diverged "
                     f"from reference {ref!r}")
-        result = VariantResult(
+        return VariantResult(
             workload, variant, ccm_bytes, run.value, run.stats,
             spill_bytes={name: fn.frame_size
                          for name, fn in prog.functions.items()},
             ccm_high_water={name: fn.ccm_high_water
                             for name, fn in prog.functions.items()})
-        if cache is None:
-            self._cache[key] = result
-        return result
 
     def run_all(self, variant: str, ccm_bytes: int = 512,
-                workloads: Optional[List[str]] = None) -> Dict[str, VariantResult]:
-        return {name: self.run(name, variant, ccm_bytes)
-                for name in (workloads or suite_names())}
+                workloads: Optional[List[str]] = None,
+                jobs: Optional[int] = None) -> Dict[str, VariantResult]:
+        """Run one variant over the whole suite (or a subset).
 
-
-def _values_match(a, b) -> bool:
-    if isinstance(a, float) and isinstance(b, float):
-        scale = max(1.0, abs(a), abs(b))
-        return abs(a - b) <= 1e-6 * scale
-    return a == b
+        ``jobs > 1`` fans the uncached workloads out over worker
+        processes; rows come back and are reported in suite order, so
+        the result is identical to the serial sweep.
+        """
+        names = list(workloads) if workloads is not None else suite_names()
+        jobs = self.jobs if jobs is None else jobs
+        missing = [name for name in names
+                   if (name, variant, ccm_bytes) not in self._cache]
+        if jobs > 1 and len(missing) > 1:
+            self.stats.jobs = max(self.stats.jobs, jobs)
+            job = self._job(variant, ccm_bytes)
+            for name, (result, payload, ref) in run_jobs(job, missing,
+                                                         jobs=jobs):
+                self._absorb((name, variant, ccm_bytes), result, payload,
+                             ref)
+        return {name: self.run(name, variant, ccm_bytes) for name in names}
 
 
 def compaction_measurements(workloads: Optional[List[str]] = None,
-                            machine: MachineConfig = PAPER_MACHINE_512):
+                            machine: MachineConfig = PAPER_MACHINE_512,
+                            jobs: int = 1):
     """Table 1 data: per-routine spill bytes before/after compaction."""
-    from ..ccm.compaction import CompactionResult
-
-    results: List[CompactionResult] = []
-    for name in (workloads or suite_names()):
-        prog = build_routine(name)
-        compile_program(prog, machine, "baseline")
-        fn = prog.functions[name]
-        results.append(compact_spill_memory(fn))
+    names = list(workloads) if workloads is not None else suite_names()
+    results = []
+    for _, result in run_jobs(functools.partial(_compaction_job,
+                                                machine=machine),
+                              names, jobs=jobs):
+        results.append(result)
     return results
+
+
+def _compaction_job(name: str, machine: MachineConfig):
+    prog = build_routine(name)
+    compile_program(prog, machine, "baseline")
+    return compact_spill_memory(prog.functions[name])

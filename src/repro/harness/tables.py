@@ -73,9 +73,9 @@ class Table1:
         return "\n".join(lines)
 
 
-def table1(workloads: Optional[List[str]] = None) -> Table1:
+def table1(workloads: Optional[List[str]] = None, jobs: int = 1) -> Table1:
     rows = [Table1Row(c.fn_name, c.bytes_before, c.bytes_after)
-            for c in compaction_measurements(workloads)]
+            for c in compaction_measurements(workloads, jobs=jobs)]
     return Table1(rows)
 
 
@@ -143,9 +143,20 @@ class Table2:
         return "\n".join(lines)
 
 
+def _prefetch(runner: ExperimentRunner, workloads: Optional[List[str]],
+              ccm_sizes) -> None:
+    """Warm the runner's memo for every (variant, CCM size) slice —
+    one run_all per slice, so a parallel runner fans the whole
+    cross-product out instead of simulating row by row."""
+    for ccm_bytes in ccm_sizes:
+        for variant in ("baseline",) + ALGORITHMS:
+            runner.run_all(variant, ccm_bytes, workloads)
+
+
 def table2(runner: ExperimentRunner, ccm_bytes: int = 512,
            workloads: Optional[List[str]] = None) -> Table2:
     rows = []
+    _prefetch(runner, workloads, (ccm_bytes,))
     for name in (workloads or suite_names()):
         base = runner.run(name, "baseline", ccm_bytes)
         ratios = {}
@@ -199,6 +210,7 @@ def table3(runner: ExperimentRunner,
            workloads: Optional[List[str]] = None,
            threshold: float = 0.005) -> Table3:
     rows = []
+    _prefetch(runner, workloads, (512, 1024))
     for name in (workloads or suite_names()):
         base512 = runner.run(name, "baseline", 512)
         base1024 = runner.run(name, "baseline", 1024)
@@ -249,6 +261,7 @@ def table4(runner: ExperimentRunner,
            workloads: Optional[List[str]] = None) -> Table4:
     workloads = workloads or suite_names()
     cells = {}
+    _prefetch(runner, workloads, (512, 1024))
     for ccm_bytes in (512, 1024):
         base_total = base_mem = 0
         totals = {a: [0, 0] for a in ALGORITHMS}
@@ -319,13 +332,16 @@ def figure(runner_factory, ccm_bytes: int,
            programs: Optional[List[str]] = None) -> Figure:
     """Build Figure 3 (512 B) or Figure 4 (1024 B).
 
-    ``runner_factory`` must produce an :class:`ExperimentRunner` whose
-    ``build`` maps program names to whole programs (see
-    :func:`program_runner`).
+    ``runner_factory`` is an :class:`ExperimentRunner` whose ``build``
+    maps program names to whole programs (see :func:`program_runner`),
+    or a zero-argument factory producing one.
     """
-    runner = runner_factory()
+    runner = runner_factory() if callable(runner_factory) else runner_factory
+    names = list(programs) if programs is not None else program_names()
+    for variant in ("baseline",) + ALGORITHMS:
+        runner.run_all(variant, ccm_bytes, names)
     rows = []
-    for name in (programs or program_names()):
+    for name in names:
         base = runner.run(name, "baseline", ccm_bytes)
         ratios = {}
         for algorithm in ALGORITHMS:
@@ -337,8 +353,9 @@ def figure(runner_factory, ccm_bytes: int,
     return Figure(ccm_bytes, rows)
 
 
-def program_runner() -> ExperimentRunner:
+def program_runner(jobs: int = 1, artifacts=None) -> ExperimentRunner:
     """An ExperimentRunner over whole programs instead of routines."""
     from ..workloads.programs import build_program
 
-    return ExperimentRunner(build=build_program)
+    return ExperimentRunner(build=build_program, jobs=jobs,
+                            artifacts=artifacts)

@@ -19,6 +19,16 @@ class RegClass(enum.Enum):
     INT = "int"
     FLOAT = "float"
 
+    def __hash__(self) -> int:
+        # Enum.__hash__ hashes the member *name*, which varies with
+        # PYTHONHASHSEED — and RegClass sits inside the auto-generated
+        # hash of every VirtualReg/PhysReg, so register sets (the
+        # interference graph, allocator worklists) would iterate in a
+        # seed-dependent order and coloring would drift from run to
+        # run.  A fixed integer hash keeps every register container
+        # deterministic across processes.
+        return 0 if self is RegClass.INT else 1
+
     @property
     def size_bytes(self) -> int:
         """Size of a spilled value of this class, used for CCM packing."""

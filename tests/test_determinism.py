@@ -1,0 +1,71 @@
+"""Cross-process determinism of the whole pipeline.
+
+The artifact cache and the parallel engine both assume that compiling
+the same source under the same config yields bit-identical code in any
+process.  That silently broke under hash randomization: ``RegClass`` is
+an enum, ``Enum.__hash__`` hashes the member *name string*, and that
+hash feeds the auto-generated hash of every ``VirtualReg``/``PhysReg``
+— so interference-graph sets iterated in a PYTHONHASHSEED-dependent
+order and register coloring drifted between CLI invocations (urand's
+baseline cycle count varied by ~1% run to run).  These tests pin the
+fix: register hashes are seed-independent, and a subprocess with a
+hostile hash seed compiles byte-identical code.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+from repro.ir import PhysReg, RegClass, VirtualReg
+
+_SNIPPET = r"""
+import hashlib
+from repro.workloads.suite import build_routine
+from repro.harness.experiment import compile_program
+from repro.machine import PAPER_MACHINE_512
+from repro.ir import format_program
+
+digest = hashlib.sha256()
+for name in ("decomp", "urand"):
+    for variant in ("baseline", "integrated", "postpass_cg"):
+        prog = build_routine(name)
+        compile_program(prog, PAPER_MACHINE_512, variant)
+        digest.update(format_program(prog).encode())
+print(digest.hexdigest())
+"""
+
+
+def _compile_digest(hashseed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.join(os.path.dirname(__file__), "..", "src"),
+                    env.get("PYTHONPATH", "")] if p)
+    out = subprocess.run([sys.executable, "-c", _SNIPPET], env=env,
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+class TestRegisterHashes:
+    def test_regclass_hash_is_fixed(self):
+        assert hash(RegClass.INT) == 0
+        assert hash(RegClass.FLOAT) == 1
+
+    def test_register_hashes_are_integer_only(self):
+        # tuple-of-ints hashes are PYTHONHASHSEED-independent
+        assert hash(VirtualReg(7, RegClass.INT)) == \
+            hash((7, RegClass.INT))
+        assert hash(PhysReg(3, RegClass.FLOAT)) == \
+            hash((3, RegClass.FLOAT))
+
+    def test_ccm_location_hash_has_no_string(self):
+        from repro.ccm.integrated import CcmLocation
+
+        assert hash(CcmLocation(8, 4)) == hash((0x43434D, 8, 4))
+
+
+class TestCrossProcessDeterminism:
+    def test_compile_identical_under_hostile_hash_seeds(self):
+        # two subprocesses with different hash seeds must produce the
+        # same code for every allocator variant
+        assert _compile_digest("1") == _compile_digest("31337")

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.harness import ExperimentRunner, run_ablation
-from repro.machine import MachineConfig
+from repro.harness.ablation import SMALL_CACHE, WRITE_BUFFER_CACHE
+from repro.machine import DataCache, MachineConfig
 
 
 @pytest.fixture(scope="module")
@@ -48,6 +49,61 @@ class TestRunnerConfig:
     def test_run_all_subset(self, runner):
         results = runner.run_all("baseline", workloads=["decomp", "urand"])
         assert set(results) == {"decomp", "urand"}
+
+
+class TestDataCacheReset:
+    """Regression: ``run`` used to reuse a caller-supplied DataCache
+    without resetting it, so tag state and hit/miss statistics leaked
+    from one run into the next and skewed ablation numbers."""
+
+    def test_back_to_back_runs_report_identical_stats(self, runner):
+        cache = DataCache(SMALL_CACHE)
+        first = runner.run("decomp", "baseline", cache=cache)
+        first_stats = (cache.stats.accesses, cache.stats.hits,
+                       cache.stats.misses, first.stats.cycles)
+        second = runner.run("decomp", "baseline", cache=cache)
+        second_stats = (cache.stats.accesses, cache.stats.hits,
+                        cache.stats.misses, second.stats.cycles)
+        assert first_stats == second_stats
+        assert first.stats == second.stats
+
+    def test_cache_runs_bypass_memoization(self, runner):
+        memoized = runner.run("decomp", "baseline")
+        with_cache = runner.run("decomp", "baseline",
+                                cache=DataCache(SMALL_CACHE))
+        # a cache changes the timing model, so the memoized result must
+        # not be returned (nor overwritten)
+        assert with_cache.cycles != memoized.cycles or \
+            with_cache is not memoized
+        assert runner.run("decomp", "baseline") is memoized
+
+
+class TestEffectiveHitRate:
+    """Regression: the write-buffer ablation under-reported its hit
+    rate because absorbed store misses (which complete at hit latency)
+    were counted as plain misses."""
+
+    def test_write_buffer_effective_exceeds_raw(self, runner):
+        cache = DataCache(WRITE_BUFFER_CACHE)
+        runner.run("decomp", "baseline", cache=cache)
+        assert cache.stats.write_buffer_absorbed > 0
+        assert cache.stats.effective_hit_rate > cache.stats.hit_rate
+        expected = ((cache.stats.hits + cache.stats.write_buffer_absorbed)
+                    / cache.stats.accesses)
+        assert cache.stats.effective_hit_rate == pytest.approx(expected)
+
+    def test_no_write_buffer_rates_agree(self, runner):
+        cache = DataCache(SMALL_CACHE)
+        runner.run("decomp", "baseline", cache=cache)
+        assert cache.stats.effective_hit_rate == cache.stats.hit_rate
+
+    def test_ablation_table_reports_both_rates(self):
+        result = run_ablation(["decomp"])
+        text = result.format()
+        assert "hit rate" in text and "effective" in text
+        wb = next(c for c in result.cells
+                  if c.config == "write-buffer" and c.routine == "decomp")
+        assert wb.effective_hit_rate > wb.hit_rate
 
 
 class TestAblationResult:
