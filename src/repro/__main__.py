@@ -7,6 +7,7 @@ Usage::
     python -m repro emit kernel.mfl [--variant baseline] [--stage ...]
     python -m repro difftest [--seeds N] [-j N] [--profile nightly]
     python -m repro harness table2 [-j N] [--stats]
+    python -m repro trace compare [--baseline benchmarks/baselines]
 
 ``emit`` prints the ILOC listing at a chosen stage: ``frontend`` (raw
 lowering), ``opt`` (after scalar optimization), or ``asm`` (fully
@@ -15,7 +16,9 @@ fuzzer over the allocator config lattice (see :mod:`repro.difftest`);
 ``harness`` regenerates the paper's tables and figures (see
 :mod:`repro.harness.cli`).  Both are sweep commands: they take
 ``--jobs N`` / ``-j N`` to fan out over worker processes, ``--stats``
-for engine metrics, and share the on-disk artifact cache.
+for engine metrics, and share the on-disk artifact cache.  ``trace``
+captures/compares per-routine compile-quality metric baselines (the
+regression gate; see :mod:`repro.trace.cli`).
 """
 
 from __future__ import annotations
@@ -54,6 +57,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # so sweeps are reachable from the one entry point too
         from .harness.cli import main as harness_main
         return harness_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # metric-baseline capture/compare (the regression gate)
+        from .trace.cli import main as trace_main
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro", description="MFL compiler with CCM spill allocation")
@@ -75,6 +82,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("harness",
                    help="regenerate the paper's tables and figures "
                         "(python -m repro harness --help)")
+    sub.add_parser("trace",
+                   help="capture/compare compile-quality metric baselines "
+                        "(python -m repro trace --help)")
 
     emit_cmd = sub.add_parser("emit", help="print the ILOC listing")
     emit_cmd.add_argument("file")

@@ -17,6 +17,7 @@ from collections import defaultdict
 from typing import Dict, List, Set
 
 from ..ir import (Function, Instruction, Opcode, VirtualReg, make_move)
+from ..trace import trace_counter, trace_span
 from .cfg import CFG, split_critical_edges
 from .dominators import DominatorTree
 from .liveness import compute_liveness
@@ -24,6 +25,11 @@ from .liveness import compute_liveness
 
 def build_ssa(fn: Function) -> None:
     """Rewrite ``fn`` into SSA form in place."""
+    with trace_span("ssa.build", fn=fn.name):
+        _build_ssa(fn)
+
+
+def _build_ssa(fn: Function) -> None:
     cfg = CFG(fn)
     dom = DominatorTree(cfg)
     reachable = set(dom.idom)
@@ -67,6 +73,8 @@ def build_ssa(fn: Function) -> None:
                 phi_for[front][var] = phi
                 if front not in sites:
                     worklist.append(front)
+    trace_counter("ssa.phis",
+                  sum(len(placed) for placed in phi_for.values()))
 
     # 3. renaming walk over the dominator tree
     stacks: Dict[VirtualReg, List[VirtualReg]] = defaultdict(list)
@@ -127,6 +135,11 @@ def destroy_ssa(fn: Function) -> None:
     loop-carried swap), naive sequential copies would clobber a value
     before it is read; those edges route through fresh temporaries.
     """
+    with trace_span("ssa.destroy", fn=fn.name):
+        _destroy_ssa(fn)
+
+
+def _destroy_ssa(fn: Function) -> None:
     split_critical_edges(fn)
     cfg = CFG(fn)
     for block in fn.blocks:
@@ -158,6 +171,7 @@ def destroy_ssa(fn: Function) -> None:
                     seq.append(make_move(dst, tmp))
             else:
                 seq = [make_move(dst, src) for dst, src in moves]
+            trace_counter("ssa.copies", len(seq))
             pred.instructions[insert_at:insert_at] = seq
         block.instructions = [i for i in block.instructions if not i.is_phi]
 

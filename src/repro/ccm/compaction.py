@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..ir import Function, Opcode, SPILL_LOADS, SPILL_STORES
+from ..trace import trace_counter, trace_span
 from .assign import assign_webs
 from .mem_liveness import analyze_webs
 from .slots import SpillWeb, find_spill_webs
@@ -45,6 +46,14 @@ def spill_bytes_in_use(fn: Function) -> int:
 
 def compact_spill_memory(fn: Function) -> CompactionResult:
     """Recolor the function's stack spill slots in place."""
+    with trace_span("ccm.compact", fn=fn.name):
+        result = _compact_spill_memory(fn)
+    trace_counter("ccm.compaction_bytes_before", result.bytes_before)
+    trace_counter("ccm.compaction_bytes_after", result.bytes_after)
+    return result
+
+
+def _compact_spill_memory(fn: Function) -> CompactionResult:
     webs = find_spill_webs(fn)
     before = fn.frame_size or spill_bytes_in_use(fn)
     if not webs:

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set
 from ..analysis import CallGraph
 from ..ir import Function, Program, TO_CCM
 from ..machine import MachineConfig
+from ..trace import trace_counter, trace_span
 from .assign import assign_webs
 from .mem_liveness import WebInterference, analyze_webs
 from .slots import SpillWeb, find_spill_webs
@@ -82,6 +83,24 @@ def promote_function(fn: Function, ccm_bytes: int,
     loop-depth estimate to measured block execution counts
     (profile-guided promotion).
     """
+    with trace_span("ccm.promote", fn=fn.name):
+        result = _promote_function(fn, ccm_bytes, callee_high_water,
+                                   block_profile)
+    trace_counter("ccm.webs", result.n_webs)
+    trace_counter("ccm.promoted", len(result.promoted))
+    trace_counter("ccm.heavyweight", len(result.heavyweight))
+    trace_counter("ccm.bytes_used", result.ccm_bytes_used)
+    # the stack bytes the promoted webs vacate — Table 1's "savings"
+    # angle on Table 3's occupancy
+    trace_counter("ccm.bytes_saved",
+                  sum(web.size for web in result.promoted))
+    return result
+
+
+def _promote_function(fn: Function, ccm_bytes: int,
+                      callee_high_water: Optional[Dict[str, int]] = None,
+                      block_profile: Optional[Dict[str, int]] = None
+                      ) -> FunctionPromotion:
     result = FunctionPromotion(fn.name)
     webs = find_spill_webs(fn)
     result.n_webs = len(webs)

@@ -21,6 +21,7 @@ import sys
 from typing import List, Optional
 
 from ..exec import ArtifactCache, SweepStats, default_cache_dir, default_jobs
+from ..trace import TraceRecorder, format_summary, write_chrome_trace
 from .corpus import save_corpus_entry
 from .gen import generate_source
 from .reduce import reduce_source
@@ -84,6 +85,12 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None
                         help="disable the on-disk artifact cache")
     parser.add_argument("--clear-cache", action="store_true",
                         help="empty the artifact cache before running")
+    parser.add_argument("--trace", action="store_true",
+                        help="record per-pass pipeline spans/counters and "
+                             "print a summary to stderr")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the trace as Chrome trace_event JSON "
+                             "(implies --trace)")
     parser.add_argument("--reduce", action="store_true",
                         help="minimize each divergent program")
     parser.add_argument("--save-corpus", action="store_true",
@@ -141,14 +148,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     stats = SweepStats()
+    trace = args.trace or args.trace_out is not None
+    recorder = TraceRecorder() if trace else None
     report = run_fuzz(range(start, start + n_seeds), configs,
                       budget_s=budget, progress=progress,
-                      jobs=jobs, artifacts=artifacts, stats=stats)
+                      jobs=jobs, artifacts=artifacts, stats=stats,
+                      trace=trace, recorder=recorder)
     if args.stats == "-":
         print(stats.format_json(), file=sys.stderr)
     elif args.stats:
         with open(args.stats, "w") as handle:
             handle.write(stats.format_json() + "\n")
+    if recorder is not None:
+        print(format_summary(recorder), file=sys.stderr)
+        if args.trace_out:
+            write_chrome_trace(recorder, args.trace_out)
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
 
     reduced: dict = {}
     if (args.reduce or args.save_corpus) and report.divergences:

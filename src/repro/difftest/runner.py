@@ -39,6 +39,7 @@ from ..ir import Program, verify_program
 from ..machine import MachineConfig, RunStats, SimulationError, Simulator
 from ..opt import optimize_program
 from ..regalloc import allocate_function, lower_calling_convention
+from ..trace import TraceRecorder, recording
 from .gen import generate_source
 
 DEFAULT_CCM_SIZES = (0, 64, 512, 1024)
@@ -464,26 +465,39 @@ def check_seed(seed: int, configs: Optional[Sequence[DiffConfig]] = None,
 
 
 def _seed_job(seed: int, configs: Sequence[DiffConfig],
-              cache_root: Optional[str], cache_version: Optional[str]
-              ) -> Tuple[SeedResult, dict]:
+              cache_root: Optional[str], cache_version: Optional[str],
+              trace: bool = False) -> Tuple[SeedResult, dict]:
     """One pool job: check one seed, with timing and artifact caching.
 
     Module-level so it pickles across the process boundary; the worker
     opens its own handle on the shared cache directory (content-
     addressed keys + atomic writes make concurrent use safe).
+
+    ``trace`` wraps the check in a per-job :class:`TraceRecorder` and
+    ships its payload back as ``payload["trace"]``.  Tracing is
+    observation only: the :class:`SeedResult` (and hence any cached
+    artifact) is bit-identical with and without it.
     """
     clock = StageClock()
     artifacts = (ArtifactCache(cache_root, version=cache_version)
                  if cache_root is not None else None)
+    recorder = TraceRecorder() if trace else None
     with clock.stage("generate"):
         source = generate_source(seed)
     with clock.stage("check"):
-        result = check_source(source, configs, seed=seed,
-                              artifacts=artifacts)
+        if recorder is not None:
+            with recording(recorder):
+                result = check_source(source, configs, seed=seed,
+                                      artifacts=artifacts)
+        else:
+            result = check_source(source, configs, seed=seed,
+                                  artifacts=artifacts)
     payload = clock.to_payload(
         cache_hit=artifacts is not None and artifacts.hits > 0)
     if artifacts is not None:
         payload["cache_errors"] = artifacts.errors
+    if recorder is not None and recorder.events:
+        payload["trace"] = recorder.to_payload()
     return result, payload
 
 
@@ -493,13 +507,18 @@ def run_fuzz(seeds: Sequence[int],
              progress: Optional[Callable[[int, SeedResult], None]] = None,
              jobs: int = 1,
              artifacts: Optional[ArtifactCache] = None,
-             stats: Optional[SweepStats] = None) -> FuzzReport:
+             stats: Optional[SweepStats] = None,
+             trace: bool = False,
+             recorder: Optional[TraceRecorder] = None) -> FuzzReport:
     """Fuzz a batch of seeds, stopping early when the budget runs out.
 
     ``jobs > 1`` fans seeds out over worker processes; results are
     consumed in seed order, so the report (and every ``progress`` call)
     is identical to the serial run.  ``artifacts`` enables the on-disk
     cache; ``stats`` collects per-stage timing and hit rates.
+    ``trace`` turns on per-seed pipeline tracing: counters aggregate
+    into ``stats.trace`` and, when ``recorder`` is given, span events
+    merge into it for Chrome-trace export.
     """
     configs = list(configs) if configs is not None else config_lattice()
     report = FuzzReport()
@@ -509,7 +528,8 @@ def run_fuzz(seeds: Sequence[int],
     job = functools.partial(
         _seed_job, configs=configs,
         cache_root=artifacts.root if artifacts is not None else None,
-        cache_version=artifacts.version if artifacts is not None else None)
+        cache_version=artifacts.version if artifacts is not None else None,
+        trace=trace or recorder is not None)
     if stats is not None:
         stats.jobs = max(jobs, 1)
     for seed, (result, payload) in run_jobs(job, seeds, jobs=jobs,
@@ -521,6 +541,8 @@ def run_fuzz(seeds: Sequence[int],
         report.divergences.extend(result.divergences)
         if stats is not None:
             stats.merge_job(payload)
+        if recorder is not None:
+            recorder.merge_payload(payload.get("trace"))
         if progress is not None:
             progress(seed, result)
     report.elapsed_s = time.time() - start

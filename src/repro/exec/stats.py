@@ -95,6 +95,9 @@ class SweepStats:
     cache_errors: int = 0        # corrupt/unreadable entries recovered
     wall_s: float = 0.0          # whole-sweep wall clock (parent)
     stages: Dict[str, StageStat] = field(default_factory=dict)
+    #: trace counters summed across every traced job (``--trace``); a
+    #: ``-j N`` sweep aggregates to the same totals as a serial one
+    trace: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_lookups(self) -> int:
@@ -116,9 +119,13 @@ class SweepStats:
         for name, (calls, wall_s, cpu_s) in payload.get("stages", {}).items():
             self.stages.setdefault(name, StageStat()).add(wall_s, cpu_s,
                                                           calls)
+        trace_payload = payload.get("trace")
+        if trace_payload:
+            for name, value in trace_payload.get("counters", {}).items():
+                self.trace[name] = self.trace.get(name, 0) + value
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "jobs": self.jobs,
             "jobs_total": self.jobs_total,
             "jobs_executed": self.jobs_executed,
@@ -132,6 +139,11 @@ class SweepStats:
             "stages": {name: stat.to_json()
                        for name, stat in sorted(self.stages.items())},
         }
+        if self.trace:
+            payload["trace"] = {
+                name: (int(v) if float(v).is_integer() else v)
+                for name, v in sorted(self.trace.items())}
+        return payload
 
     def format_json(self) -> str:
         return json.dumps(self.to_json(), indent=2)

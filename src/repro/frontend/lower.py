@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..ir import (Function, GlobalArray, IRBuilder, Instruction, Opcode,
                   Program, RegClass, VirtualReg)
+from ..trace import instruction_count, trace_counter, trace_span
 from . import ast as A
 
 
@@ -299,7 +300,11 @@ def lower_module(module: A.Module) -> Program:
     globals_ = {g.name: g for g in module.globals}
     for decl in module.functions:
         lowering = _FunctionLowering(module, decl, signatures, globals_)
-        program.add_function(lowering.lower())
+        with trace_span("frontend.lower", fn=decl.name):
+            fn = lowering.lower()
+        trace_counter("frontend.instrs", instruction_count(fn))
+        trace_counter("frontend.functions")
+        program.add_function(fn)
     return program
 
 

@@ -28,6 +28,7 @@ import time
 from typing import List, Optional
 
 from ..exec import ArtifactCache, SweepStats, default_cache_dir, default_jobs
+from ..trace import TraceRecorder, format_summary, write_chrome_trace
 from .ablation import run_ablation
 from .experiment import ExperimentRunner
 from .tables import (figure, program_runner, table1, table2, table3, table4)
@@ -71,6 +72,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="disable the on-disk artifact cache")
     parser.add_argument("--clear-cache", action="store_true",
                         help="empty the artifact cache before running")
+    parser.add_argument("--trace", action="store_true",
+                        help="record per-pass pipeline spans/counters and "
+                             "print a summary to stderr")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the trace as Chrome trace_event JSON "
+                             "(implies --trace)")
     args = parser.parse_args(argv)
 
     workloads = _routine_list(args.routines)
@@ -79,7 +86,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                  else ArtifactCache(args.cache_dir or default_cache_dir()))
     if args.clear_cache and artifacts is not None:
         artifacts.clear()
-    runner = ExperimentRunner(jobs=jobs, artifacts=artifacts)
+    trace = args.trace or args.trace_out is not None
+    recorder = TraceRecorder() if trace else None
+    runner = ExperimentRunner(jobs=jobs, artifacts=artifacts,
+                              trace=trace, recorder=recorder)
     start = time.time()
 
     if args.target == "experiments":
@@ -99,12 +109,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif target == "table4":
             print(table4(runner, workloads).format())
         elif target == "fig3":
-            fig = figure(program_runner(jobs=jobs, artifacts=artifacts), 512)
+            fig = figure(program_runner(jobs=jobs, artifacts=artifacts,
+                                        trace=trace, recorder=recorder), 512)
             print(fig.format())
             print()
             print(fig.render_bars())
         elif target == "fig4":
-            fig = figure(program_runner(jobs=jobs, artifacts=artifacts),
+            fig = figure(program_runner(jobs=jobs, artifacts=artifacts,
+                                        trace=trace, recorder=recorder),
                          1024)
             print(fig.format())
             print()
@@ -120,6 +132,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.stats:
         with open(args.stats, "w") as handle:
             handle.write(runner.stats.format_json() + "\n")
+    if recorder is not None:
+        print(format_summary(recorder), file=sys.stderr)
+        if args.trace_out:
+            write_chrome_trace(recorder, args.trace_out)
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
     print(f"[{time.time() - start:.0f}s]", file=sys.stderr)
     return 0
 

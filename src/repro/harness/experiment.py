@@ -36,6 +36,7 @@ from ..machine import (DataCache, MachineConfig, RunStats, Simulator,
                        PAPER_MACHINE_512, PAPER_MACHINE_1024)
 from ..opt import optimize_program
 from ..regalloc import allocate_function, lower_calling_convention
+from ..trace import TraceRecorder, recording
 from ..workloads.suite import build_routine, suite_names
 
 VARIANTS = ("baseline", "postpass", "postpass_cg", "integrated")
@@ -116,7 +117,8 @@ def _variant_descriptor(variant: str, machine: MachineConfig,
 def _variant_job(workload: str, variant: str, machine: MachineConfig,
                  build: Callable[[str], Program], verify_values: bool,
                  cache_root: Optional[str], cache_version: Optional[str],
-                 references: Optional[Dict[str, object]] = None
+                 references: Optional[Dict[str, object]] = None,
+                 trace: bool = False
                  ) -> Tuple["VariantResult", dict, object]:
     """One pool job: build, compile, simulate, verify one configuration.
 
@@ -124,7 +126,30 @@ def _variant_job(workload: str, variant: str, machine: MachineConfig,
     ``(result, timing payload, reference value)`` — the reference value
     comes back so the parent can memoize it for later variants of the
     same workload.
+
+    ``trace`` installs a per-job :class:`TraceRecorder` around the
+    compile+simulate work and ships its payload back inside the timing
+    payload (``payload["trace"]``); tracing never changes what the job
+    computes, only what it reports, so traced and untraced sweeps
+    produce bit-identical results.  Cache-served jobs skip compilation
+    and therefore carry no trace payload.
     """
+    if not trace:
+        return _variant_job_inner(workload, variant, machine, build,
+                                  verify_values, cache_root, cache_version,
+                                  references)
+    recorder = TraceRecorder()
+    with recording(recorder):
+        result = _variant_job_inner(workload, variant, machine, build,
+                                    verify_values, cache_root,
+                                    cache_version, references)
+    if recorder.events:
+        result[1]["trace"] = recorder.to_payload()
+    return result
+
+
+def _variant_job_inner(workload, variant, machine, build, verify_values,
+                       cache_root, cache_version, references):
     clock = StageClock()
     artifacts = (ArtifactCache(cache_root, version=cache_version)
                  if cache_root is not None else None)
@@ -194,6 +219,10 @@ class ExperimentRunner:
     verify_values: bool = True
     jobs: int = 1
     artifacts: Optional[ArtifactCache] = None
+    #: enable per-job tracing; counters aggregate into ``stats.trace``
+    #: and, when ``recorder`` is set, events merge into it for export
+    trace: bool = False
+    recorder: Optional[TraceRecorder] = None
 
     def __post_init__(self):
         if self.build is None:
@@ -223,12 +252,14 @@ class ExperimentRunner:
                         if self.artifacts is not None else None),
             cache_version=(self.artifacts.version
                            if self.artifacts is not None else None),
-            references=dict(self._reference))
+            references=dict(self._reference), trace=self.trace)
 
     def _absorb(self, key: Tuple[str, str, int], result: VariantResult,
                 payload: dict, reference: object) -> None:
         workload = key[0]
         self.stats.merge_job(payload)
+        if self.recorder is not None:
+            self.recorder.merge_payload(payload.get("trace"))
         if reference is not None and workload not in self._reference:
             self._reference[workload] = reference
         self._cache[key] = result

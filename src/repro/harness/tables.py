@@ -353,9 +353,11 @@ def figure(runner_factory, ccm_bytes: int,
     return Figure(ccm_bytes, rows)
 
 
-def program_runner(jobs: int = 1, artifacts=None) -> ExperimentRunner:
+def program_runner(jobs: int = 1, artifacts=None, trace: bool = False,
+                   recorder=None) -> ExperimentRunner:
     """An ExperimentRunner over whole programs instead of routines."""
     from ..workloads.programs import build_program
 
     return ExperimentRunner(build=build_program, jobs=jobs,
-                            artifacts=artifacts)
+                            artifacts=artifacts, trace=trace,
+                            recorder=recorder)

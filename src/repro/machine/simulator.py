@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..ir import Instruction, Opcode, PhysReg, Program, RegClass, VirtualReg
+from ..trace import current as _trace_current
 from .cache import CacheStats, DataCache
 from .target import DEFAULT_MACHINE, MachineConfig
 
@@ -64,10 +65,20 @@ POISON = _Poison()
 
 @dataclass
 class RunStats:
-    """Dynamic execution statistics for one simulation."""
+    """Dynamic execution statistics for one simulation.
+
+    Cycle accounting is exhaustive and disjoint: every cycle the
+    simulator charges lands in exactly one of ``op_cycles`` (non-memory
+    instruction latencies), ``memory_cycles`` (main-memory, cache, and
+    CCM access latencies), or ``stall_cycles`` (pipelined-load
+    interlocks), so ``cycles == op_cycles + memory_cycles +
+    stall_cycles`` always holds — the property test over the fuzz
+    corpus enforces it, so no path can double-count or drop cycles.
+    """
 
     cycles: int = 0
     memory_cycles: int = 0
+    op_cycles: int = 0
     instructions: int = 0
     loads: int = 0
     stores: int = 0
@@ -200,6 +211,20 @@ class Simulator:
     # -- main loop ----------------------------------------------------------------
 
     def run(self, entry: Optional[str] = None, args: List = ()) -> RunResult:
+        recorder = _trace_current()
+        if recorder is None:
+            return self._run(entry, args)
+        with recorder.span("sim.run", entry=entry or self.program.entry_name):
+            result = self._run(entry, args)
+        stats = result.stats
+        recorder.counter("sim.runs")
+        for name in ("cycles", "memory_cycles", "op_cycles", "stall_cycles",
+                     "instructions", "loads", "stores", "spill_loads",
+                     "spill_stores", "ccm_loads", "ccm_stores", "calls"):
+            recorder.counter(f"sim.{name}", getattr(stats, name))
+        return result
+
+    def _run(self, entry: Optional[str] = None, args: List = ()) -> RunResult:
         entry = entry or self.program.entry_name
         fn = self.program.functions[entry]
         if len(args) != len(fn.params):
@@ -405,12 +430,13 @@ class Simulator:
                 self._write(new_frame, param, value)
             stats.calls += 1
             stats.cycles += latency
-            self._account_memory(instr, latency, stats)
+            self._account(instr, latency, stats)
             return "call"
         elif op is Opcode.RET:
             value = self._read(frame, instr.srcs[0]) if instr.srcs else None
             stack.pop()
             stats.cycles += latency
+            stats.op_cycles += latency
             if not stack:
                 self._pending_return = value
                 return "return"
@@ -426,6 +452,7 @@ class Simulator:
             return "return"
         elif op is Opcode.HALT:
             stats.cycles += latency
+            stats.op_cycles += latency
             self._pending_return = None
             return "halt"
         elif op is Opcode.NOP:
@@ -444,15 +471,19 @@ class Simulator:
                     self._ready_at[dst] = stats.cycles + latency
                 latency = 1
         stats.cycles += latency
-        self._account_memory(instr, latency, stats)
+        self._account(instr, latency, stats)
         if advance:
             frame.index += 1
         return "next"
 
-    def _account_memory(self, instr: Instruction, latency: int,
-                        stats: RunStats) -> None:
+    def _account(self, instr: Instruction, latency: int,
+                 stats: RunStats) -> None:
+        """Bucket one instruction's latency; every charged cycle lands
+        in exactly one bucket (see the RunStats identity)."""
         if instr.meta.is_main_memory or instr.meta.is_ccm:
             stats.memory_cycles += latency
+        else:
+            stats.op_cycles += latency
 
     def _check_ccm(self, offset: int, size: int, frame: _Frame) -> None:
         if offset < 0 or offset + size > self.machine.ccm_bytes:

@@ -15,12 +15,21 @@ from typing import Dict, List
 
 from ..analysis import build_ssa, destroy_ssa, remove_unreachable_blocks
 from ..ir import Function, Program, verify_function
+from ..trace import trace_counter, trace_span, traced_pass
 from .constprop import sccp
 from .copyprop import copy_propagate
 from .dce import dce
 from .gvn import gvn
 from .licm import licm
 from .peephole import peephole, simplify_cfg
+
+# Each pass is wrapped once, at import: the wrapper is a no-op check
+# when tracing is off, and records a span plus rewrite/instruction-delta
+# counters per invocation when it is on.
+_TRACED = {name: traced_pass(name)(fn)
+           for name, fn in (("sccp", sccp), ("gvn", gvn), ("licm", licm),
+                            ("copyprop", copy_propagate), ("dce", dce),
+                            ("peephole", peephole), ("cfg", simplify_cfg))}
 
 
 @dataclass
@@ -50,29 +59,33 @@ def optimize_function(fn: Function, max_rounds: int = 8,
     its interaction with the CCM.
     """
     report = OptReport()
-    remove_unreachable_blocks(fn)
-    build_ssa(fn)
-    passes = [("sccp", sccp), ("gvn", gvn), ("copyprop", copy_propagate),
-              ("dce", dce), ("peephole", peephole)]
-    if enable_licm:
-        passes.insert(2, ("licm", licm))
-    for _ in range(max_rounds):
-        round_changes = 0
-        for name, pass_fn in passes:
-            count = pass_fn(fn)
-            report.add(name, count)
-            round_changes += count
-            if check:
-                verify_function(fn)
-        report.rounds += 1
-        if round_changes == 0:
-            break
-    destroy_ssa(fn)
-    # NOTE: copyprop/dce assume single-assignment names and must not run
-    # after SSA destruction; only the (name-agnostic) CFG cleanup may.
-    report.add("cfg", simplify_cfg(fn))
-    if check:
-        verify_function(fn)
+    with trace_span("opt.function", fn=fn.name):
+        remove_unreachable_blocks(fn)
+        build_ssa(fn)
+        passes = [(name, _TRACED[name])
+                  for name in ("sccp", "gvn", "copyprop", "dce", "peephole")]
+        if enable_licm:
+            passes.insert(2, ("licm", _TRACED["licm"]))
+        for _ in range(max_rounds):
+            round_changes = 0
+            for name, pass_fn in passes:
+                count = pass_fn(fn)
+                report.add(name, count)
+                round_changes += count
+                if check:
+                    verify_function(fn)
+            report.rounds += 1
+            if round_changes == 0:
+                break
+        destroy_ssa(fn)
+        # NOTE: copyprop/dce assume single-assignment names and must not
+        # run after SSA destruction; only the (name-agnostic) CFG
+        # cleanup may.
+        report.add("cfg", _TRACED["cfg"](fn))
+        if check:
+            verify_function(fn)
+    trace_counter("opt.rounds", report.rounds)
+    trace_counter("opt.rewrites.total", report.total)
     return report
 
 

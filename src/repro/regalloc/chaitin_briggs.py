@@ -29,6 +29,7 @@ from ..ir import (Function, Instruction, Opcode, PhysReg, RegClass,
                   VirtualReg, make_ccm_load, make_ccm_store, make_move,
                   make_reload, make_spill)
 from ..machine import MachineConfig
+from ..trace import trace_counter, trace_span
 from .interference import (InterferenceGraph, PseudoNode,
                            build_interference_graph)
 from .spill_costs import INFINITE, compute_spill_costs
@@ -115,6 +116,12 @@ class ChaitinBriggsAllocator:
     # -- public entry --------------------------------------------------------
 
     def run(self) -> AllocationResult:
+        with trace_span("regalloc.allocate", fn=self.fn.name):
+            result = self._run()
+        self._trace_result(result)
+        return result
+
+    def _run(self) -> AllocationResult:
         for _ in range(self.MAX_ROUNDS):
             self.result.rounds += 1
             graph = self._build()
@@ -126,9 +133,23 @@ class ChaitinBriggsAllocator:
                 self._rewrite(assignment)
                 self.result.assignment = assignment
                 return self.result
+            trace_counter("regalloc.spill_rounds")
             self._insert_spill_code(actual_spills, graph)
         raise AllocationError(
             f"{self.fn.name}: no fixed point after {self.MAX_ROUNDS} rounds")
+
+    def _trace_result(self, result: AllocationResult) -> None:
+        """Counters for one finished allocation (no-ops when off)."""
+        trace_counter("regalloc.rounds", result.rounds)
+        trace_counter("regalloc.coalesced", result.coalesced)
+        trace_counter("regalloc.spilled", len(result.spilled))
+        trace_counter("regalloc.rematerialized",
+                      len(result.rematerialized))
+        ccm = sum(1 for loc in result.locations.values()
+                  if loc.kind == "ccm")
+        trace_counter("regalloc.ccm_spills", ccm)
+        trace_counter("regalloc.stack_spills", len(result.spilled) - ccm)
+        trace_counter("regalloc.frame_bytes", self.fn.frame_size)
 
     # -- phases ------------------------------------------------------------------
 
@@ -391,6 +412,9 @@ class ChaitinBriggsAllocator:
                 for reg, temp in temps.items():
                     instr.replace_src(reg, temp)
                     instr.replace_dst(reg, temp)
+                if pre or post:
+                    trace_counter("regalloc.spill_instrs",
+                                  len(pre) + len(post))
                 rewritten.extend(pre)
                 rewritten.append(instr)
                 rewritten.extend(post)

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..ir import (CCM_LOADS, CCM_STORES, Function, Instruction, Opcode,
                   Program, SPILL_LOADS, SPILL_STORES)
 from ..machine import MachineConfig
+from ..trace import trace_counter, trace_span
 
 _MAIN_MEMORY = {Opcode.LOAD, Opcode.FLOAD, Opcode.STORE, Opcode.FSTORE,
                 Opcode.LOADAI, Opcode.FLOADAI, Opcode.STOREAI,
@@ -185,11 +186,14 @@ def schedule_block(instrs: List[Instruction],
 def schedule_function(fn: Function, machine: MachineConfig) -> int:
     """Schedule every block; returns the number of instructions moved."""
     moved = 0
-    for block in fn.blocks:
-        new_order = schedule_block(block.instructions, machine)
-        moved += sum(1 for a, b in zip(block.instructions, new_order)
-                     if a is not b)
-        block.instructions = new_order
+    with trace_span("schedule.function", fn=fn.name):
+        for block in fn.blocks:
+            new_order = schedule_block(block.instructions, machine)
+            moved += sum(1 for a, b in zip(block.instructions, new_order)
+                         if a is not b)
+            block.instructions = new_order
+    trace_counter("schedule.blocks", len(fn.blocks))
+    trace_counter("schedule.moved", moved)
     return moved
 
 

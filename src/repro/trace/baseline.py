@@ -1,0 +1,205 @@
+"""Pinned metric baselines and the compile-quality regression gate.
+
+A *baseline* is one JSON file per routine under
+``benchmarks/baselines/``::
+
+    {
+      "routine": "twldrv",
+      "variant": "postpass_cg",
+      "ccm_bytes": 512,
+      "tolerances": {"default": 0.0, "sim.cycles": 0.01},
+      "metrics": {"regalloc.spilled": 12, "sim.cycles": 48210, ...}
+    }
+
+``repro trace compare`` recompiles each baselined routine, recollects
+its metrics, and fails when any pinned metric drifts past its
+tolerance — so a PR that silently doubles spill counts or cycle counts
+fails CI even though every answer is still correct.  The whole
+pipeline is deterministic (the cross-process determinism tests pin
+this), so the default tolerance is exact; per-metric tolerances in the
+file (or ``--rtol``) loosen specific entries when a timing-model knob
+is expected to wobble.
+
+``repro trace capture`` (re)writes the files — the explicit ratchet
+step after an *intentional* compile-quality change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .metrics import collect_routine_metrics
+
+DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
+
+#: metrics whose absolute scale is timing-model-dependent get a small
+#: default headroom when capturing; structural counts stay exact
+CAPTURE_TOLERANCES = {"default": 0.0}
+
+
+@dataclass
+class Baseline:
+    """One routine's pinned metrics."""
+
+    routine: str
+    variant: str
+    ccm_bytes: int
+    metrics: Dict[str, float]
+    tolerances: Dict[str, float] = field(default_factory=dict)
+
+    def tolerance(self, metric: str, override: Optional[float]) -> float:
+        if override is not None:
+            return override
+        if metric in self.tolerances:
+            return self.tolerances[metric]
+        return self.tolerances.get("default", 0.0)
+
+    def to_json(self) -> dict:
+        return {
+            "routine": self.routine,
+            "variant": self.variant,
+            "ccm_bytes": self.ccm_bytes,
+            "tolerances": dict(sorted(self.tolerances.items())),
+            "metrics": dict(sorted(self.metrics.items())),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Baseline":
+        return cls(routine=payload["routine"],
+                   variant=payload.get("variant", "postpass_cg"),
+                   ccm_bytes=int(payload.get("ccm_bytes", 512)),
+                   metrics=dict(payload["metrics"]),
+                   tolerances=dict(payload.get("tolerances", {})))
+
+
+@dataclass
+class Drift:
+    """One metric outside its tolerance."""
+
+    routine: str
+    metric: str
+    baseline: float
+    measured: float
+    tolerance: float
+
+    @property
+    def relative(self) -> float:
+        scale = max(1.0, abs(self.baseline))
+        return abs(self.measured - self.baseline) / scale
+
+    def __str__(self) -> str:
+        sign = "+" if self.measured >= self.baseline else "-"
+        return (f"{self.routine}: {self.metric} {self.baseline} -> "
+                f"{self.measured} ({sign}{self.relative:.1%}, "
+                f"tolerance {self.tolerance:.1%})")
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one gate run across every baseline file."""
+
+    routines: List[str] = field(default_factory=list)
+    checked: int = 0
+    drifts: List[Drift] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)   # "<routine>:<metric>"
+    new_metrics: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts and not self.missing
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "routines": self.routines,
+            "metrics_checked": self.checked,
+            "drifts": [{"routine": d.routine, "metric": d.metric,
+                        "baseline": d.baseline, "measured": d.measured,
+                        "relative": round(d.relative, 6),
+                        "tolerance": d.tolerance} for d in self.drifts],
+            "missing_metrics": self.missing,
+            "new_metrics": self.new_metrics,
+        }
+
+
+def baseline_path(directory: str, routine: str) -> str:
+    return os.path.join(directory, f"{routine}.json")
+
+
+def load_baselines(directory: str,
+                   routines: Optional[List[str]] = None) -> List[Baseline]:
+    """Every baseline file in ``directory`` (optionally filtered)."""
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"baseline directory {directory!r} not found")
+    baselines = []
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json"):
+            continue
+        with open(os.path.join(directory, entry)) as handle:
+            baseline = Baseline.from_json(json.load(handle))
+        if routines is not None and baseline.routine not in routines:
+            continue
+        baselines.append(baseline)
+    return baselines
+
+
+def capture_baselines(directory: str, routines: List[str],
+                      variant: str = "postpass_cg", ccm_bytes: int = 512,
+                      tolerances: Optional[Dict[str, float]] = None
+                      ) -> List[Baseline]:
+    """Measure and write one baseline file per routine."""
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for routine in routines:
+        metrics = collect_routine_metrics(routine, variant, ccm_bytes)
+        baseline = Baseline(routine, variant, ccm_bytes, metrics,
+                            dict(tolerances if tolerances is not None
+                                 else CAPTURE_TOLERANCES))
+        with open(baseline_path(directory, routine), "w") as handle:
+            json.dump(baseline.to_json(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        written.append(baseline)
+    return written
+
+
+def compare_metrics(baseline: Baseline, measured: Dict[str, float],
+                    rtol: Optional[float] = None) -> CompareReport:
+    """Compare one routine's measured metrics against its baseline."""
+    report = CompareReport(routines=[baseline.routine])
+    for metric, pinned in sorted(baseline.metrics.items()):
+        if metric not in measured:
+            report.missing.append(f"{baseline.routine}:{metric}")
+            continue
+        report.checked += 1
+        value = measured[metric]
+        tolerance = baseline.tolerance(metric, rtol)
+        scale = max(1.0, abs(pinned))
+        if abs(value - pinned) / scale > tolerance:
+            report.drifts.append(Drift(baseline.routine, metric,
+                                       pinned, value, tolerance))
+    report.new_metrics.extend(
+        f"{baseline.routine}:{m}" for m in sorted(measured)
+        if m not in baseline.metrics)
+    return report
+
+
+def compare_baselines(directory: str,
+                      routines: Optional[List[str]] = None,
+                      rtol: Optional[float] = None) -> CompareReport:
+    """The gate: recollect metrics for every baselined routine and
+    merge the per-routine comparisons into one report."""
+    merged = CompareReport()
+    for baseline in load_baselines(directory, routines):
+        measured = collect_routine_metrics(baseline.routine,
+                                           baseline.variant,
+                                           baseline.ccm_bytes)
+        report = compare_metrics(baseline, measured, rtol)
+        merged.routines.extend(report.routines)
+        merged.checked += report.checked
+        merged.drifts.extend(report.drifts)
+        merged.missing.extend(report.missing)
+        merged.new_metrics.extend(report.new_metrics)
+    return merged

@@ -1,0 +1,133 @@
+"""``python -m repro trace`` — the compile-quality gate and trace tools.
+
+Examples::
+
+    # the CI regression gate: exit 0 iff every pinned metric holds
+    python -m repro trace compare --baseline benchmarks/baselines/
+
+    # re-pin baselines after an intentional compile-quality change
+    python -m repro trace capture --baseline benchmarks/baselines/ \
+        --routines twldrv,fpppp,rkf45
+
+    # one-off look at a routine's per-pass metrics
+    python -m repro trace show twldrv --variant integrated --json -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .baseline import (DEFAULT_BASELINE_DIR, capture_baselines,
+                       compare_baselines)
+from .export import counters_json
+from .metrics import collect_routine_metrics
+
+DEFAULT_ROUTINES = ["twldrv", "fpppp", "rkf45"]
+
+
+def _routine_list(text: str) -> List[str]:
+    return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Per-pass pipeline metrics, baselines, and the "
+                    "compile-quality regression gate")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="diff measured metrics against pinned baselines "
+                        "(nonzero exit on drift)")
+    compare.add_argument("--baseline", default=DEFAULT_BASELINE_DIR,
+                         metavar="DIR",
+                         help=f"baseline directory "
+                              f"(default: {DEFAULT_BASELINE_DIR})")
+    compare.add_argument("--routines", type=_routine_list, default=None,
+                         metavar="A,B,...",
+                         help="only check these routines")
+    compare.add_argument("--rtol", type=float, default=None,
+                         help="override every tolerance with this relative "
+                              "bound (default: per-baseline tolerances)")
+    compare.add_argument("--json", metavar="PATH", default=None,
+                         help="write the comparison report as JSON "
+                              "('-' for stdout)")
+
+    capture = sub.add_parser(
+        "capture", help="measure and (re)write baseline files")
+    capture.add_argument("--baseline", default=DEFAULT_BASELINE_DIR,
+                         metavar="DIR")
+    capture.add_argument("--routines", type=_routine_list,
+                         default=list(DEFAULT_ROUTINES), metavar="A,B,...")
+    capture.add_argument("--variant", default="postpass_cg",
+                         help="allocator variant to pin (default: "
+                              "postpass_cg)")
+    capture.add_argument("--ccm", type=int, default=512,
+                         help="CCM size in bytes (default: 512)")
+
+    show = sub.add_parser(
+        "show", help="print one routine's measured metrics")
+    show.add_argument("routine")
+    show.add_argument("--variant", default="postpass_cg")
+    show.add_argument("--ccm", type=int, default=512)
+    show.add_argument("--json", metavar="PATH", default=None,
+                      help="write metrics as JSON ('-' for stdout)")
+    return parser
+
+
+def _emit_json(payload: dict, path: Optional[str]) -> None:
+    text = json.dumps(payload, indent=2)
+    if path == "-":
+        print(text)
+    elif path:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "capture":
+        written = capture_baselines(args.baseline, args.routines,
+                                    args.variant, args.ccm)
+        for baseline in written:
+            print(f"pinned {baseline.routine}: "
+                  f"{len(baseline.metrics)} metrics "
+                  f"({baseline.variant}/ccm{baseline.ccm_bytes})")
+        return 0
+
+    if args.command == "show":
+        metrics = collect_routine_metrics(args.routine, args.variant,
+                                          args.ccm)
+        if args.json:
+            _emit_json({"routine": args.routine, "variant": args.variant,
+                        "ccm_bytes": args.ccm,
+                        "metrics": counters_json(metrics)}, args.json)
+        if args.json != "-":
+            width = max(len(name) for name in metrics)
+            for name in sorted(metrics):
+                print(f"{name:<{width}}  {metrics[name]}")
+        return 0
+
+    # compare
+    report = compare_baselines(args.baseline, args.routines, args.rtol)
+    if args.json:
+        _emit_json(report.to_json(), args.json)
+    out = sys.stderr if args.json == "-" else sys.stdout
+    for drift in report.drifts:
+        print(f"DRIFT {drift}", file=out)
+    for missing in report.missing:
+        print(f"MISSING {missing} (metric pinned but no longer measured)",
+              file=out)
+    status = "ok" if report.ok else "FAIL"
+    print(f"trace compare {status}: {len(report.routines)} routines, "
+          f"{report.checked} metrics checked, {len(report.drifts)} "
+          f"drifted, {len(report.missing)} missing", file=out)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Trace export: Chrome ``trace_event`` JSON and a text summary.
+
+The JSON form loads directly into ``chrome://tracing`` / Perfetto: each
+span becomes a complete ("X") event on its process's track, and every
+counter's final value is attached as a metadata event.  The text form
+is the quick look — per-span-name call counts and total time, then the
+counters, sorted — printed by ``--trace`` and ``repro trace show``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .recorder import TraceRecorder
+
+
+def to_chrome_trace(recorder: TraceRecorder) -> dict:
+    """The ``trace_event`` JSON object for one recorder."""
+    events = []
+    for name, ts_us, dur_us, pid, args in recorder.events:
+        event = {"name": name, "ph": "X", "cat": name.split(".", 1)[0],
+                 "ts": ts_us, "dur": dur_us, "pid": pid, "tid": 0}
+        if args:
+            event["args"] = dict(args)
+        events.append(event)
+    for name in sorted(recorder.counters):
+        events.append({"name": name, "ph": "C", "cat": "counter",
+                       "ts": 0, "pid": recorder.pid, "tid": 0,
+                       "args": {"value": recorder.counters[name]}})
+    return {"traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"tool": "repro.trace"}}
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(recorder), handle, indent=1)
+        handle.write("\n")
+
+
+def format_summary(recorder: TraceRecorder) -> str:
+    """Human-readable aggregate: spans by total time, then counters."""
+    lines = ["trace summary"]
+    totals = recorder.span_totals()
+    if totals:
+        lines.append("  spans (calls, total):")
+        width = max(len(name) for name in totals)
+        for name, (calls, secs) in sorted(totals.items(),
+                                          key=lambda kv: -kv[1][1]):
+            lines.append(f"    {name:<{width}}  {calls:>7}  {secs:>9.4f}s")
+    counters = recorder.counters
+    if counters:
+        lines.append("  counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            value = counters[name]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"    {name:<{width}}  {shown}")
+    if len(lines) == 1:
+        lines.append("  (empty)")
+    return "\n".join(lines)
+
+
+def counters_json(counters: Dict[str, float]) -> Dict[str, float]:
+    """Counters with integral floats normalized to ints, for stable
+    JSON output."""
+    return {name: (int(v) if float(v).is_integer() else v)
+            for name, v in sorted(counters.items())}

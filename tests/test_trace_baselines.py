@@ -1,0 +1,130 @@
+"""Golden-baseline tests for the compile-quality regression gate.
+
+``benchmarks/baselines/`` pins the per-routine metrics of three suite
+routines; ``repro trace compare`` fails when a metric drifts past its
+tolerance.  These tests check both directions of the gate: the
+committed baselines hold on the current tree, and an injected
+regression (spill count up ~10%) is caught.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.trace import (Baseline, collect_routine_metrics, compare_metrics,
+                         load_baselines)
+from repro.trace.baseline import baseline_path
+from repro.trace.cli import DEFAULT_ROUTINES, main as trace_main
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "benchmarks", "baselines")
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    return load_baselines(BASELINE_DIR)
+
+
+@pytest.fixture(scope="module")
+def measured(baselines):
+    """One metric collection per baselined routine, shared by every
+    test in the module (the expensive part: compile + simulate)."""
+    return {b.routine: collect_routine_metrics(b.routine, b.variant,
+                                               b.ccm_bytes)
+            for b in baselines}
+
+
+def test_baseline_files_are_committed(baselines):
+    assert sorted(b.routine for b in baselines) == sorted(DEFAULT_ROUTINES)
+    for b in baselines:
+        assert b.metrics, f"{b.routine} baseline has no metrics"
+        # the gate must cover the paper's headline quantities
+        for metric in ("regalloc.spilled", "frame.spill_bytes",
+                       "sim.cycles", "sim.memory_cycles"):
+            assert metric in b.metrics, f"{b.routine} misses {metric}"
+
+
+def test_committed_baselines_hold(baselines, measured):
+    """The gate passes clean on the current tree — the acceptance
+    criterion for ``repro trace compare`` exiting 0 on main."""
+    for baseline in baselines:
+        report = compare_metrics(baseline, measured[baseline.routine])
+        assert report.ok, "; ".join(str(d) for d in report.drifts) or \
+            f"missing: {report.missing}"
+        assert report.checked == len(baseline.metrics)
+
+
+def test_injected_spill_regression_fails(baselines, measured):
+    """A +10% spill-count regression must trip the gate."""
+    baseline = copy.deepcopy(next(b for b in baselines
+                                  if b.routine == "rkf45"))
+    pinned = baseline.metrics["regalloc.spilled"]
+    assert pinned > 0
+    # shrink the pin so today's measurement looks ~10% worse than it
+    baseline.metrics["regalloc.spilled"] = int(round(pinned / 1.1))
+    report = compare_metrics(baseline, measured["rkf45"])
+    assert not report.ok
+    (drift,) = report.drifts
+    assert drift.metric == "regalloc.spilled"
+    assert drift.relative >= 0.05
+
+
+def test_rtol_override_loosens_gate(baselines, measured):
+    baseline = copy.deepcopy(next(b for b in baselines
+                                  if b.routine == "rkf45"))
+    baseline.metrics["regalloc.spilled"] = int(
+        round(baseline.metrics["regalloc.spilled"] / 1.1))
+    report = compare_metrics(baseline, measured["rkf45"], rtol=0.25)
+    assert report.ok
+
+
+def test_pinned_but_unmeasured_metric_fails(baselines, measured):
+    """A metric that disappears from the pipeline (instrumentation
+    regression) fails the gate rather than passing vacuously."""
+    baseline = copy.deepcopy(baselines[0])
+    baseline.metrics["regalloc.gone_forever"] = 1
+    report = compare_metrics(baseline, measured[baseline.routine])
+    assert not report.ok
+    assert f"{baseline.routine}:regalloc.gone_forever" in report.missing
+
+
+def test_new_metrics_are_informational(baselines, measured):
+    """Freshly instrumented counters don't fail old baselines; they
+    surface as new_metrics until the next capture."""
+    baseline = Baseline(routine=baselines[0].routine,
+                        variant=baselines[0].variant,
+                        ccm_bytes=baselines[0].ccm_bytes,
+                        metrics={"sim.cycles":
+                                 baselines[0].metrics["sim.cycles"]})
+    report = compare_metrics(baseline, measured[baseline.routine])
+    assert report.ok
+    assert report.new_metrics
+
+
+def test_cli_gate_roundtrip(tmp_path, capsys):
+    """capture -> compare passes; a perturbed baseline makes compare
+    exit nonzero — the CI contract, end to end through the CLI."""
+    directory = str(tmp_path / "baselines")
+    assert trace_main(["capture", "--baseline", directory,
+                       "--routines", "rkf45"]) == 0
+    assert trace_main(["compare", "--baseline", directory]) == 0
+
+    path = baseline_path(directory, "rkf45")
+    with open(path) as handle:
+        payload = json.load(handle)
+    payload["metrics"]["sim.cycles"] = int(
+        payload["metrics"]["sim.cycles"] * 0.9)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+    report_path = str(tmp_path / "report.json")
+    assert trace_main(["compare", "--baseline", directory,
+                       "--json", report_path]) == 1
+    with open(report_path) as handle:
+        report = json.load(handle)
+    assert not report["ok"]
+    assert [d["metric"] for d in report["drifts"]] == ["sim.cycles"]
+    out = capsys.readouterr().out
+    assert "DRIFT" in out and "FAIL" in out

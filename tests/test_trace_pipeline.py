@@ -1,0 +1,99 @@
+"""Consistency tests: tracer counters reconcile with OptReport.
+
+``traced_pass`` measures each pass invocation from the outside —
+instruction count before/after plus the pass's own rewrite count — so
+the tracer's view and ``OptReport.by_pass`` must agree exactly.  Any
+disagreement means a pass is lying about its work (reporting rewrites
+it didn't make, or mutating the function while reporting zero).
+"""
+
+import pytest
+
+from conftest import build_loop_sum_program
+from repro.difftest.gen import generate_source
+from repro.frontend import compile_source
+from repro.opt import optimize_program
+from repro.trace import TraceRecorder, install, recording
+from repro.workloads.suite import build_routine
+
+PASSES = ("sccp", "gvn", "licm", "copyprop", "dce", "peephole", "cfg")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_recorder():
+    install(None)
+    yield
+    install(None)
+
+
+def _optimize_traced(prog):
+    recorder = TraceRecorder()
+    with recording(recorder):
+        reports = optimize_program(prog)
+    return reports, recorder.counters
+
+
+def _programs():
+    yield "loop_sum", build_loop_sum_program()
+    yield "rkf45", build_routine("rkf45")
+    for seed in (0, 3, 7, 11):
+        yield f"seed{seed}", compile_source(generate_source(seed))
+
+
+@pytest.mark.parametrize("name,prog",
+                         list(_programs()),
+                         ids=[name for name, _ in _programs()])
+def test_counters_reconcile_with_optreport(name, prog):
+    reports, counters = _optimize_traced(prog)
+    assert reports, f"{name}: no functions optimized"
+
+    for pass_name in PASSES:
+        reported = sum(r.by_pass.get(pass_name, 0) for r in reports.values())
+        counted = counters.get(f"opt.rewrites.{pass_name}", 0)
+        assert counted == reported, (
+            f"{name}: {pass_name} reported {reported} rewrites but the "
+            f"tracer counted {counted}")
+
+    assert counters.get("opt.rewrites.total", 0) == \
+        sum(r.total for r in reports.values())
+    assert counters.get("opt.rounds", 0) == \
+        sum(r.rounds for r in reports.values())
+
+
+@pytest.mark.parametrize("name,prog",
+                         list(_programs()),
+                         ids=[name for name, _ in _programs()])
+def test_zero_rewrites_means_zero_instruction_delta(name, prog):
+    """A pass that reports no rewrites must not change the instruction
+    count — the core honesty property the tracer enforces."""
+    _, counters = _optimize_traced(prog)
+    for pass_name in PASSES:
+        if counters.get(f"opt.rewrites.{pass_name}", 0) == 0:
+            delta = counters.get(f"opt.instr_delta.{pass_name}", 0)
+            assert delta == 0, (
+                f"{name}: {pass_name} reported zero rewrites but changed "
+                f"the instruction count by {delta}")
+
+
+@pytest.mark.parametrize("name,prog",
+                         list(_programs()),
+                         ids=[name for name, _ in _programs()])
+def test_dce_delta_matches_rewrite_count_exactly(name, prog):
+    """dce's rewrite count *is* its removed-instruction count, so the
+    tracer's measured delta must be its exact negative."""
+    _, counters = _optimize_traced(prog)
+    removed = counters.get("opt.rewrites.dce", 0)
+    delta = counters.get("opt.instr_delta.dce", 0)
+    assert delta == -removed, (
+        f"{name}: dce removed {removed} instructions but the function "
+        f"shrank by {-delta}")
+
+
+def test_untraced_optimization_reports_identically():
+    """Tracing observes; it must not perturb the pipeline's results."""
+    traced_prog = build_routine("rkf45")
+    untraced_prog = build_routine("rkf45")
+    traced_reports, _ = _optimize_traced(traced_prog)
+    untraced_reports = optimize_program(untraced_prog)
+    assert {n: (r.rounds, r.by_pass) for n, r in traced_reports.items()} == \
+        {n: (r.rounds, r.by_pass) for n, r in untraced_reports.items()}

@@ -1,0 +1,193 @@
+"""Unit tests for the tracing core: recorder, hooks, export, merging."""
+
+import json
+
+import pytest
+
+from repro.exec import SweepStats
+from repro.trace import (TraceRecorder, current, format_summary, install,
+                         instruction_count, recording, to_chrome_trace,
+                         trace_counter, trace_span, traced_pass,
+                         write_chrome_trace)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_recorder():
+    """Every test starts and ends with tracing disabled."""
+    install(None)
+    yield
+    install(None)
+
+
+def test_spans_and_counters_record():
+    rec = TraceRecorder()
+    with rec.span("regalloc.allocate", fn="main"):
+        rec.counter("regalloc.spilled", 3)
+        rec.counter("regalloc.spilled", 2)
+    assert rec.counters["regalloc.spilled"] == 5
+    assert len(rec.events) == 1
+    name, ts_us, dur_us, pid, args = rec.events[0]
+    assert name == "regalloc.allocate"
+    assert ts_us >= 0 and dur_us >= 0
+    assert pid == rec.pid
+    assert args == {"fn": "main"}
+
+
+def test_span_totals_aggregates_by_name():
+    rec = TraceRecorder()
+    for _ in range(3):
+        with rec.span("opt.dce"):
+            pass
+    with rec.span("opt.gvn"):
+        pass
+    totals = rec.span_totals()
+    assert totals["opt.dce"][0] == 3
+    assert totals["opt.gvn"][0] == 1
+
+
+def test_module_hooks_are_noops_when_disabled():
+    assert current() is None
+    trace_counter("anything", 42)            # must not raise
+    with trace_span("anything", key="value"):
+        pass
+    # the disabled span is one shared singleton: no per-call allocation
+    assert trace_span("a") is trace_span("b")
+
+
+def test_module_hooks_record_when_installed():
+    rec = TraceRecorder()
+    with recording(rec):
+        assert current() is rec
+        trace_counter("ccm.promoted", 7)
+        with trace_span("ccm.promote", fn="f"):
+            pass
+    assert current() is None
+    assert rec.counters["ccm.promoted"] == 7
+    assert [e[0] for e in rec.events] == ["ccm.promote"]
+
+
+def test_recording_restores_previous_recorder():
+    outer, inner = TraceRecorder(), TraceRecorder()
+    with recording(outer):
+        with recording(inner):
+            trace_counter("x")
+        trace_counter("y")
+    assert inner.counters == {"x": 1}
+    assert outer.counters == {"y": 1}
+    assert current() is None
+
+
+def test_recording_restores_on_exception():
+    rec = TraceRecorder()
+    with pytest.raises(RuntimeError):
+        with recording(rec):
+            raise RuntimeError("boom")
+    assert current() is None
+
+
+def test_payload_merge_sums_counters_and_keeps_events():
+    parent, worker = TraceRecorder(), TraceRecorder()
+    parent.counter("sim.cycles", 100)
+    with worker.span("sim.run"):
+        worker.counter("sim.cycles", 50)
+    parent.merge_payload(worker.to_payload())
+    parent.merge_payload(None)               # missing payload is a no-op
+    parent.merge_payload({})                 # empty payload too
+    assert parent.counters["sim.cycles"] == 150
+    assert [e[0] for e in parent.events] == ["sim.run"]
+    # worker events keep the worker's pid for per-process tracks
+    assert parent.events[0][3] == worker.pid
+
+
+def test_chrome_trace_shape():
+    rec = TraceRecorder()
+    with rec.span("opt.sccp", fn="main"):
+        rec.counter("opt.rewrites.sccp", 4)
+    doc = to_chrome_trace(rec)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert [s["name"] for s in spans] == ["opt.sccp"]
+    assert spans[0]["cat"] == "opt"
+    assert spans[0]["args"] == {"fn": "main"}
+    assert counters[0]["name"] == "opt.rewrites.sccp"
+    assert counters[0]["args"]["value"] == 4
+
+
+def test_chrome_trace_file_roundtrip(tmp_path):
+    rec = TraceRecorder()
+    with rec.span("schedule.function"):
+        pass
+    path = tmp_path / "trace.json"
+    write_chrome_trace(rec, str(path))
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"][0]["name"] == "schedule.function"
+
+
+def test_format_summary_lists_spans_and_counters():
+    rec = TraceRecorder()
+    with rec.span("regalloc.allocate"):
+        pass
+    rec.counter("regalloc.spilled", 12)
+    text = format_summary(rec)
+    assert "regalloc.allocate" in text
+    assert "regalloc.spilled" in text
+    assert "12" in text
+    assert "(empty)" in format_summary(TraceRecorder())
+
+
+class _Block:
+    def __init__(self, n):
+        self.instructions = list(range(n))
+
+
+class _Fn:
+    name = "fake"
+
+    def __init__(self):
+        self.blocks = [_Block(3), _Block(2)]
+
+
+def test_instruction_count():
+    assert instruction_count(_Fn()) == 5
+
+
+def test_traced_pass_records_rewrites_and_instr_delta():
+    @traced_pass("shrink")
+    def shrink(fn):
+        del fn.blocks[0].instructions[0]
+        return 1
+
+    fn = _Fn()
+    assert shrink(fn) == 1                  # disabled: plain passthrough
+
+    rec = TraceRecorder()
+    with recording(rec):
+        assert shrink(fn) == 1
+    assert rec.counters["opt.rewrites.shrink"] == 1
+    assert rec.counters["opt.instr_delta.shrink"] == -1
+    assert [e[0] for e in rec.events] == ["opt.shrink"]
+    assert rec.events[0][4] == {"fn": "fake"}
+
+
+def test_traced_pass_preserves_metadata():
+    def grow(fn):
+        """docstring survives"""
+        return 0
+
+    wrapped = traced_pass("grow")(grow)
+    assert wrapped.__name__ == "grow"
+    assert wrapped.__doc__ == "docstring survives"
+    assert wrapped.__wrapped__ is grow
+
+
+def test_sweepstats_merges_trace_payloads():
+    stats = SweepStats()
+    stats.merge_job({"cache_hit": False,
+                     "trace": {"counters": {"sim.cycles": 10}}})
+    stats.merge_job({"cache_hit": False,
+                     "trace": {"counters": {"sim.cycles": 5,
+                                            "opt.rounds": 2}}})
+    stats.merge_job({"cache_hit": True})     # cache hits carry no trace
+    assert stats.trace == {"sim.cycles": 15, "opt.rounds": 2}
+    assert stats.to_json()["trace"] == {"sim.cycles": 15, "opt.rounds": 2}
+    assert "trace" not in SweepStats().to_json()

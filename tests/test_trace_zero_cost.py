@@ -1,0 +1,114 @@
+"""Tracing is observation-only and free when disabled.
+
+Two enforced properties:
+
+* **bit-identical output** — a sweep run with tracing produces exactly
+  the same report and exactly the same artifact-cache bytes as one run
+  without (tracing never mutates the traced objects, so it cannot
+  change what the compiler emits);
+* **near-zero disabled cost** — with no recorder installed every hook
+  is one global read plus an early return, bounded here by a
+  microbenchmark with an extremely generous ceiling (the `<5%`
+  sweep-level overhead budget corresponds to whole milliseconds per
+  seed; the hooks cost microseconds).
+"""
+
+import hashlib
+import os
+import time
+
+import pytest
+
+from repro.exec import ArtifactCache
+from repro.harness.experiment import compile_program
+from repro.difftest.runner import DiffConfig, run_fuzz
+from repro.ir import format_program
+from repro.machine import PAPER_MACHINE_512
+from repro.trace import (TraceRecorder, current, install, recording,
+                         trace_counter, trace_span)
+from repro.workloads.suite import build_routine
+
+# reduced lattice so 25 seeds stay cheap; one config per allocator family
+CONFIGS = [
+    DiffConfig("baseline", True, False, 512),
+    DiffConfig("postpass", True, False, 64),
+    DiffConfig("postpass_cg", True, True, 512),
+    DiffConfig("integrated", False, True, 64),
+]
+SEEDS = range(25)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_recorder():
+    install(None)
+    yield
+    install(None)
+
+
+def _cache_digest(root):
+    """Stable digest of every artifact byte under a cache root."""
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def _report_json(report):
+    payload = report.to_json()
+    payload.pop("elapsed_s")       # wall clock is the one allowed diff
+    return payload
+
+
+def test_sweep_with_and_without_trace_is_bit_identical(tmp_path):
+    plain_cache = ArtifactCache(str(tmp_path / "plain"))
+    traced_cache = ArtifactCache(str(tmp_path / "traced"))
+    recorder = TraceRecorder()
+
+    plain = run_fuzz(SEEDS, CONFIGS, jobs=1, artifacts=plain_cache)
+    traced = run_fuzz(SEEDS, CONFIGS, jobs=1, artifacts=traced_cache,
+                      trace=True, recorder=recorder)
+
+    assert _report_json(plain) == _report_json(traced)
+    assert _cache_digest(str(tmp_path / "plain")) == \
+        _cache_digest(str(tmp_path / "traced"))
+    # and the traced run actually traced
+    assert recorder.counters.get("sim.runs", 0) > 0
+    assert recorder.events
+
+
+def test_traced_compile_emits_identical_code():
+    """Same routine, traced and untraced: the compiled listing (every
+    instruction, every frame slot) must match byte for byte."""
+    plain = build_routine("rkf45")
+    compile_program(plain, PAPER_MACHINE_512, "postpass_cg")
+
+    traced = build_routine("rkf45")
+    with recording(TraceRecorder()):
+        compile_program(traced, PAPER_MACHINE_512, "postpass_cg")
+
+    assert format_program(plain) == format_program(traced)
+
+
+def test_disabled_hooks_cost_nanoseconds_not_milliseconds():
+    """100k disabled counter+span pairs in well under a second — i.e.
+    microseconds per instrumentation site, far below the 5% sweep
+    budget (a traced-off seed spends ~100ms compiling and hits a few
+    hundred sites)."""
+    assert current() is None
+    n = 100_000
+    start = time.perf_counter()
+    for _ in range(n):
+        trace_counter("zero.cost", 1)
+        with trace_span("zero.cost"):
+            pass
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0, f"{n} disabled hook pairs took {elapsed:.2f}s"
+
+
+def test_disabled_span_allocates_nothing():
+    assert trace_span("a") is trace_span("b")
