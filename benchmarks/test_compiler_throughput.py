@@ -1,18 +1,38 @@
 """Micro-benchmarks of the toolchain itself (real pytest-benchmark
 timing: many rounds, statistics).  Not a paper table — these watch for
-performance regressions in the compiler and simulator."""
+performance regressions in the compiler and simulator.
+
+The allocation-hot-path group (liveness / interference build / full
+allocation) runs on fpppp and twldrv — the suite's two largest
+routines, where the dense bitset dataflow engine matters most.  Capture
+a machine-readable snapshot with::
+
+    pytest benchmarks/test_compiler_throughput.py \
+        --benchmark-json=BENCH_throughput.json
+"""
 
 import pytest
 
+from repro.analysis import CFG, compute_liveness
 from repro.frontend import compile_source
 from repro.harness.experiment import compile_program
 from repro.machine import PAPER_MACHINE_512, Simulator
+from repro.opt import optimize_program
+from repro.regalloc import allocate_function
+from repro.regalloc.interference import build_interference_graph
 from repro.workloads import build_routine, routine_source
 
 
 @pytest.fixture(scope="module")
 def subb_source():
     return routine_source("subb")
+
+
+def _optimized_program(name):
+    """The routine's program after scalar opt, ready for allocation."""
+    prog = compile_source(routine_source(name))
+    optimize_program(prog)
+    return prog
 
 
 def test_frontend_compile_speed(benchmark, subb_source):
@@ -40,6 +60,48 @@ def test_postpass_promotion_speed(benchmark, subb_source):
     benchmark.pedantic(
         lambda: promote_spills_postpass(next(it), PAPER_MACHINE_512, True),
         rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("routine", ["fpppp", "twldrv"])
+def test_liveness_speed(benchmark, routine):
+    prog = _optimized_program(routine)
+    fns = list(prog.functions.values())
+    cfgs = {fn.name: CFG(fn) for fn in fns}
+
+    def liveness_all():
+        return [compute_liveness(fn, cfgs[fn.name]) for fn in fns]
+
+    benchmark.pedantic(liveness_all, rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("routine", ["fpppp", "twldrv"])
+def test_interference_build_speed(benchmark, routine):
+    prog = _optimized_program(routine)
+    fns = list(prog.functions.values())
+
+    def build_all():
+        return [build_interference_graph(fn, PAPER_MACHINE_512)
+                for fn in fns]
+
+    benchmark.pedantic(build_all, rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("routine", ["fpppp", "twldrv"])
+def test_full_allocation_speed(benchmark, routine):
+    import copy
+
+    # allocation mutates the function: hand each round a fresh copy
+    rounds = 3
+    template = _optimized_program(routine)
+    progs = [copy.deepcopy(template) for _ in range(rounds)]
+    it = iter(progs)
+
+    def allocate_all():
+        prog = next(it)
+        return [allocate_function(fn, PAPER_MACHINE_512)
+                for fn in prog.functions.values()]
+
+    benchmark.pedantic(allocate_all, rounds=rounds, iterations=1)
 
 
 def test_simulator_throughput(benchmark):

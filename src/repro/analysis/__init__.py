@@ -1,16 +1,21 @@
 """Program analyses: CFG, dominators, liveness, loops, SSA, call graph."""
 
+from .bitset import BitLiveness, DenseIndex, compute_liveness_masks, iter_bits
 from .callgraph import CallGraph
 from .cfg import CFG, remove_unreachable_blocks, split_critical_edges
 from .defuse import DefUse
 from .dominators import DominatorTree
-from .liveness import LivenessInfo, compute_liveness, values_live_across_calls
+from .liveness import (LivenessInfo, compute_liveness, liveness_engine,
+                       set_liveness_engine, values_live_across_calls)
 from .loops import Loop, LoopInfo
+from .manager import AnalysisManager
 from .ssa import build_ssa, destroy_ssa, is_ssa
 
 __all__ = [
-    "CallGraph", "CFG", "remove_unreachable_blocks", "split_critical_edges",
-    "DefUse", "DominatorTree", "LivenessInfo", "compute_liveness",
-    "values_live_across_calls", "Loop", "LoopInfo", "build_ssa",
-    "destroy_ssa", "is_ssa",
+    "AnalysisManager", "BitLiveness", "CallGraph", "CFG", "DenseIndex",
+    "remove_unreachable_blocks", "split_critical_edges", "DefUse",
+    "DominatorTree", "LivenessInfo", "compute_liveness",
+    "compute_liveness_masks", "iter_bits", "liveness_engine",
+    "set_liveness_engine", "values_live_across_calls", "Loop", "LoopInfo",
+    "build_ssa", "destroy_ssa", "is_ssa",
 ]

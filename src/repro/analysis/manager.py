@@ -1,0 +1,117 @@
+"""Per-function analysis cache with explicit invalidation.
+
+Before this existed, every consumer rebuilt its own ``CFG(fn)`` —
+roughly ten independent call sites between the optimizer, the allocator,
+and the CCM passes — and each allocator spill round recomputed CFG,
+liveness, dominators, and loops from scratch even though coalescing and
+spill-code insertion never change the block graph.  The manager holds
+one cached instance of each analysis and lets passes state precisely
+what they clobbered:
+
+* ``invalidate(cfg=False)`` — instructions changed but the block graph
+  did not (coalescing, spill insertion, copy propagation, DCE): drops
+  liveness and the dense register numbering, keeps CFG / dominators /
+  loops.
+* ``invalidate(cfg=True)`` — control flow may have changed (SCCP branch
+  folding, LICM preheaders, peephole cbr->jump rewrites): drops
+  everything.
+
+Every query emits an ``analysis.cache_hit`` / ``analysis.cache_miss``
+trace counter, so ``--trace`` output and SweepStats show exactly how
+much recomputation the cache absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Function
+from ..trace import trace_counter
+from .bitset import DenseIndex
+from .cfg import CFG
+from .dominators import DominatorTree
+from .liveness import LivenessInfo, compute_liveness
+from .loops import LoopInfo
+
+
+class AnalysisManager:
+    """Cache of CFG / dominators / loops / liveness for one function.
+
+    The manager never observes IR mutation itself; the pass that mutates
+    is responsible for calling :meth:`invalidate` with the right scope.
+    A stale query after an unreported mutation is a pass bug — exactly
+    the same contract every individual analysis already had, now written
+    in one place.
+    """
+
+    __slots__ = ("fn", "_cfg", "_dom", "_loops", "_liveness", "_index")
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self._cfg: Optional[CFG] = None
+        self._dom: Optional[DominatorTree] = None
+        self._loops: Optional[LoopInfo] = None
+        self._liveness: Optional[LivenessInfo] = None
+        self._index: Optional[DenseIndex] = None
+
+    # -- queries -------------------------------------------------------------
+
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            trace_counter("analysis.cache_miss")
+            self._cfg = CFG(self.fn)
+        else:
+            trace_counter("analysis.cache_hit")
+        return self._cfg
+
+    def dominators(self) -> DominatorTree:
+        if self._dom is None:
+            trace_counter("analysis.cache_miss")
+            self._dom = DominatorTree(self.cfg())
+        else:
+            trace_counter("analysis.cache_hit")
+        return self._dom
+
+    def loops(self) -> LoopInfo:
+        if self._loops is None:
+            trace_counter("analysis.cache_miss")
+            self._loops = LoopInfo(self.fn, self.cfg(), self.dominators())
+        else:
+            trace_counter("analysis.cache_hit")
+        return self._loops
+
+    def dense_index(self) -> DenseIndex:
+        if self._index is None:
+            trace_counter("analysis.cache_miss")
+            self._index = DenseIndex(self.fn)
+        else:
+            trace_counter("analysis.cache_hit")
+        return self._index
+
+    def liveness(self) -> LivenessInfo:
+        if self._liveness is None:
+            trace_counter("analysis.cache_miss")
+            self._liveness = compute_liveness(self.fn, self.cfg(),
+                                              index=self.dense_index())
+        else:
+            trace_counter("analysis.cache_hit")
+        return self._liveness
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, cfg: bool = True) -> None:
+        """Drop cached analyses after an IR mutation.
+
+        ``cfg=False`` keeps the block-graph-level analyses (CFG,
+        dominators, loops) — correct only when the mutation changed
+        instructions but neither block membership nor terminator
+        targets.
+        """
+        trace_counter("analysis.invalidate_cfg" if cfg
+                      else "analysis.invalidate_instr")
+        self._liveness = None
+        self._index = None
+        if cfg:
+            self._cfg = None
+            self._dom = None
+            self._loops = None

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..analysis import AnalysisManager
 from ..ir import Function, Opcode, SPILL_LOADS, SPILL_STORES
 from ..trace import trace_counter, trace_span
 from .assign import assign_webs
@@ -54,11 +55,12 @@ def compact_spill_memory(fn: Function) -> CompactionResult:
 
 
 def _compact_spill_memory(fn: Function) -> CompactionResult:
-    webs = find_spill_webs(fn)
+    manager = AnalysisManager(fn)
+    webs = find_spill_webs(fn, manager=manager)
     before = fn.frame_size or spill_bytes_in_use(fn)
     if not webs:
         return CompactionResult(fn.name, before, before, 0)
-    interference = analyze_webs(fn, webs)
+    interference = analyze_webs(fn, webs, manager=manager)
 
     # Upward-exposed webs read memory the allocator did not write (never
     # produced by our spiller, but possible in hand-written input): pin

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..analysis import values_live_across_calls
+from ..analysis import AnalysisManager, values_live_across_calls
 from ..ir import (CCM_LOADS, CCM_STORES, Function, Instruction, Opcode,
                   RegClass, VirtualReg)
 from ..machine import MachineConfig
@@ -85,12 +85,13 @@ class CcmGraphHook:
 
     # -- block-level fixpoint ------------------------------------------------
 
-    def begin(self, fn: Function, graph: InterferenceGraph) -> None:
+    def begin(self, fn: Function, graph: InterferenceGraph,
+              manager: "AnalysisManager" = None) -> None:
         from collections import deque
 
         from ..analysis import CFG
 
-        cfg = CFG(fn)
+        cfg = manager.cfg() if manager is not None else CFG(fn)
         gen: Dict[str, Set[CcmLocation]] = {}
         kill: Dict[str, Set[CcmLocation]] = {}
         for block in fn.blocks:
@@ -208,13 +209,17 @@ class IntegratedCcmAllocator(ChaitinBriggsAllocator):
     """A Chaitin-Briggs allocator with the CCM plugged in: Figure 2 with
     the emboldened steps implemented by the hook and provider above."""
 
-    def __init__(self, fn: Function, machine: MachineConfig):
+    def __init__(self, fn: Function, machine: MachineConfig,
+                 manager: AnalysisManager = None):
         super().__init__(fn, machine,
                          slot_provider=IntegratedCcmSlotProvider(fn, machine),
-                         graph_hook=CcmGraphHook())
+                         graph_hook=CcmGraphHook(), manager=manager)
 
     def _insert_spill_code(self, spills, graph) -> None:
-        self.slot_provider.begin_round(values_live_across_calls(self.fn))
+        # the cached liveness is current here: nothing mutated the IR
+        # since the graph build (or the coalesce pass that invalidated)
+        self.slot_provider.begin_round(
+            values_live_across_calls(self.fn, self.analysis.liveness()))
         super()._insert_spill_code(spills, graph)
 
 

@@ -10,15 +10,20 @@ The same walk also records, per call site, the set of webs live across
 the call — the input both to the intraprocedural rule ("only promote
 values not live across any call") and to the interprocedural high-water
 discipline.
+
+Web ids are already a dense numbering (0..n-1 from
+:func:`repro.ccm.slots.find_spill_webs`), so the fixpoint runs directly
+over integer masks — bit i is web i — and the set-typed
+:class:`WebInterference` fields are materialized once at the end.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..analysis import CFG, LoopInfo
+from ..analysis import CFG, AnalysisManager, LoopInfo, iter_bits
 from ..ir import Function, Opcode, SPILL_LOADS, SPILL_STORES
 from .slots import Site, SpillWeb
 
@@ -50,20 +55,28 @@ class WebInterference:
 
 def analyze_webs(fn: Function, webs: List[SpillWeb],
                  loop_info: LoopInfo = None,
-                 block_profile: Dict[str, int] = None) -> WebInterference:
+                 block_profile: Dict[str, int] = None,
+                 manager: Optional[AnalysisManager] = None
+                 ) -> WebInterference:
     """Backward liveness over webs; returns the interference structure.
 
     Costs default to the static Chaitin estimate (10^loop-depth per
     site); passing ``block_profile`` — measured per-block execution
     counts, e.g. from ``Simulator(profile=True)`` — switches to
     profile-guided costs, so the CCM packing order reflects reality
-    rather than the loop-nest heuristic.
+    rather than the loop-nest heuristic.  ``manager`` supplies cached
+    CFG / loop analyses.
     """
     result = WebInterference(webs)
     if not webs:
         return result
-    cfg = CFG(fn)
-    loops = loop_info or LoopInfo(fn)
+    cfg = manager.cfg() if manager is not None else CFG(fn)
+    if loop_info is not None:
+        loops = loop_info
+    elif block_profile is not None:
+        loops = None  # profile weights; the loop nest is never consulted
+    else:
+        loops = manager.loops() if manager is not None else LoopInfo(fn)
     # consistent with find_spill_webs: code in unreachable blocks never
     # executes, so it neither generates liveness nor interference
     reachable = cfg.reachable()
@@ -83,63 +96,71 @@ def analyze_webs(fn: Function, webs: List[SpillWeb],
         weight = sum(site_weight(label) for label, _ in web.sites)
         result.costs[web.web_id] = weight
 
-    # per-block gen (upward-exposed loads) / kill (stores) over web ids
-    gen: Dict[str, Set[int]] = {}
-    kill: Dict[str, Set[int]] = {}
+    # per-block gen (upward-exposed loads) / kill (stores) over web-id masks
+    gen: Dict[str, int] = {}
+    kill: Dict[str, int] = {}
     for block in fn.blocks:
-        g: Set[int] = set()
-        k: Set[int] = set()
+        g = 0
+        k = 0
         if block.label in reachable:
             for idx, instr in enumerate(block.instructions):
                 site = (block.label, idx)
-                if site in web_of_load and web_of_load[site] not in k:
-                    g.add(web_of_load[site])
-                if site in web_of_store:
-                    k.add(web_of_store[site])
+                web_id = web_of_load.get(site)
+                if web_id is not None and not (k >> web_id) & 1:
+                    g |= 1 << web_id
+                web_id = web_of_store.get(site)
+                if web_id is not None:
+                    k |= 1 << web_id
         gen[block.label] = g
         kill[block.label] = k
 
-    live_in: Dict[str, Set[int]] = {b.label: set() for b in fn.blocks}
-    live_out: Dict[str, Set[int]] = {b.label: set() for b in fn.blocks}
+    live_in: Dict[str, int] = {b.label: 0 for b in fn.blocks}
+    live_out: Dict[str, int] = {b.label: 0 for b in fn.blocks}
+    succs = cfg.succs
+    preds = cfg.preds
     worklist = deque(cfg.postorder())
     queued = set(worklist)
     while worklist:
         label = worklist.popleft()
         queued.discard(label)
-        out: Set[int] = set()
-        for succ in cfg.succs[label]:
+        out = 0
+        for succ in succs[label]:
             out |= live_in[succ]
-        new_in = gen[label] | (out - kill[label])
+        new_in = gen[label] | (out & ~kill[label])
         if out != live_out[label] or new_in != live_in[label]:
             live_out[label] = out
             live_in[label] = new_in
-            for pred in cfg.preds[label]:
+            for pred in preds[label]:
                 if pred not in queued:
                     worklist.append(pred)
                     queued.add(pred)
 
     # webs live simultaneously at entry (upward-exposed) interfere
-    entry_live = list(live_in[fn.entry.label])
+    entry_live = list(iter_bits(live_in[fn.entry.label]))
     for i, a in enumerate(entry_live):
         for b in entry_live[i + 1:]:
             result.add_edge(a, b)
 
     # instruction-level backward walk: edges at defs, call crossings
+    crossing_mask = 0
     for block in fn.blocks:
         if block.label not in reachable:
             continue
-        live = set(live_out[block.label])
+        live = live_out[block.label]
         for idx in range(len(block.instructions) - 1, -1, -1):
             instr = block.instructions[idx]
             site = (block.label, idx)
             if instr.opcode is Opcode.CALL:
-                result.live_across_call |= live
-                result.calls_crossed[site] = (instr.symbol, set(live))
-            if site in web_of_store:
-                web_id = web_of_store[site]
-                for other in live:
+                crossing_mask |= live
+                result.calls_crossed[site] = (instr.symbol,
+                                              set(iter_bits(live)))
+            web_id = web_of_store.get(site)
+            if web_id is not None:
+                for other in iter_bits(live & ~(1 << web_id)):
                     result.add_edge(web_id, other)
-                live.discard(web_id)
-            if site in web_of_load:
-                live.add(web_of_load[site])
+                live &= ~(1 << web_id)
+            web_id = web_of_load.get(site)
+            if web_id is not None:
+                live |= 1 << web_id
+    result.live_across_call = set(iter_bits(crossing_mask))
     return result

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from ..analysis import CallGraph
+from ..analysis import AnalysisManager, CallGraph
 from ..ir import Function, Program, TO_CCM
 from ..machine import MachineConfig
 from ..trace import trace_counter, trace_span
@@ -102,11 +102,13 @@ def _promote_function(fn: Function, ccm_bytes: int,
                       block_profile: Optional[Dict[str, int]] = None
                       ) -> FunctionPromotion:
     result = FunctionPromotion(fn.name)
-    webs = find_spill_webs(fn)
+    manager = AnalysisManager(fn)
+    webs = find_spill_webs(fn, manager=manager)
     result.n_webs = len(webs)
     if not webs:
         return result
-    interference = analyze_webs(fn, webs, block_profile=block_profile)
+    interference = analyze_webs(fn, webs, block_profile=block_profile,
+                                manager=manager)
 
     eligible: List[SpillWeb] = []
     min_start: Dict[int, int] = {}

@@ -20,7 +20,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..analysis import CFG
+from ..analysis import CFG, AnalysisManager
 from ..ir import (Function, Instruction, Opcode, RegClass, SPILL_LOADS,
                   SPILL_STORES)
 
@@ -78,9 +78,11 @@ class _UnionFind:
             self.parent[rb] = ra
 
 
-def find_spill_webs(fn: Function) -> List[SpillWeb]:
+def find_spill_webs(fn: Function,
+                    manager: Optional[AnalysisManager] = None
+                    ) -> List[SpillWeb]:
     """Group the function's stack-spill instructions into webs."""
-    cfg = CFG(fn)
+    cfg = manager.cfg() if manager is not None else CFG(fn)
     stores: Dict[Site, int] = {}
     loads: Dict[Site, int] = {}
     classes: Dict[int, RegClass] = {}

@@ -17,9 +17,11 @@ reproducer, and with ``--save-corpus`` the reproducer is written to
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from ..analysis import set_liveness_engine
 from ..exec import ArtifactCache, SweepStats, default_cache_dir, default_jobs
 from ..trace import TraceRecorder, format_summary, write_chrome_trace
 from .corpus import save_corpus_entry
@@ -67,6 +69,12 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None
                         default="small",
                         help="register-file geometry: 'small' (8+8 regs, "
                              "heavy spilling; default) or 'paper' (64 regs)")
+    parser.add_argument("--liveness-engine", choices=("bitset", "sets"),
+                        default=None,
+                        help="dataflow engine for liveness/interference: "
+                             "'bitset' (dense masks; default) or 'sets' "
+                             "(the reference oracle). Exported to worker "
+                             "processes via REPRO_LIVENESS_ENGINE.")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the JSON report here ('-' for stdout)")
     parser.add_argument("-j", "--jobs", type=int, default=None,
@@ -115,6 +123,11 @@ def _reduce_divergence(seed: int, config_names: List[str],
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.liveness_engine is not None:
+        # both for this process and for spawned sweep workers, which
+        # re-read the environment at import
+        os.environ["REPRO_LIVENESS_ENGINE"] = args.liveness_engine
+        set_liveness_engine(args.liveness_engine)
     configs = config_lattice(tuple(args.ccm), geometry=args.machine)
 
     artifacts = (None if args.no_cache

@@ -343,7 +343,8 @@ def _lattice_descriptor(configs: Sequence[DiffConfig]) -> str:
 def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
                  seed: Optional[int] = None,
                  fault: FaultFn = None,
-                 artifacts: Optional[ArtifactCache] = None) -> SeedResult:
+                 artifacts: Optional[ArtifactCache] = None,
+                 clock: Optional[StageClock] = None) -> SeedResult:
     """Differentially test one MFL source against the whole lattice.
 
     ``fault``, if given, is applied to each compiled program before
@@ -355,6 +356,10 @@ def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
     replays its recorded :class:`SeedResult` without compiling anything.
     Fault-injected runs are never cached — the fault function is not
     part of the key.
+
+    ``clock``, if given, accumulates "compile" (front end + pipeline +
+    allocation) and "execute" (simulation) stage timings so SweepStats
+    can report where a sweep's wall time actually goes.
     """
     configs = list(configs) if configs is not None else config_lattice()
     key = None
@@ -369,13 +374,15 @@ def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
     result = SeedResult(seed, n_configs=len(configs))
 
     try:
-        base = compile_source(source)
-        verify_program(base)
+        with _timed(clock, "compile"):
+            base = compile_source(source)
+            verify_program(base)
     except Exception as exc:
         result.skipped = f"reference failed to compile: {exc}"
         return _record(artifacts, key, result)
     try:
-        reference = _execute(base, MachineConfig(), poison=False)
+        with _timed(clock, "execute"):
+            reference = _execute(base, MachineConfig(), poison=False)
     except SimulationError as exc:
         result.skipped = f"reference machine error: {exc}"
         return _record(artifacts, key, result)
@@ -387,12 +394,27 @@ def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
 
     for config in configs:
         divergence = _check_one(stages, config, reference, baseline_spill,
-                                fault)
+                                fault, clock)
         if divergence is not None:
             divergence.seed = seed
             divergence.source = source
             result.divergences.append(divergence)
     return _record(artifacts, key, result)
+
+
+class _NullTimer:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def _timed(clock: Optional[StageClock], name: str):
+    return clock.stage(name) if clock is not None else _NULL_TIMER
 
 
 def _record(artifacts: Optional[ArtifactCache], key: Optional[str],
@@ -404,16 +426,19 @@ def _record(artifacts: Optional[ArtifactCache], key: Optional[str],
 
 def _check_one(stages: _StageCache, config: DiffConfig, reference: Outcome,
                baseline_spill: Dict[bool, int],
-               fault: FaultFn = None) -> Optional[Divergence]:
+               fault: FaultFn = None,
+               clock: Optional[StageClock] = None) -> Optional[Divergence]:
     try:
-        program, machine = finalize_config(stages, config)
+        with _timed(clock, "compile"):
+            program, machine = finalize_config(stages, config)
     except Exception as exc:
         return Divergence(None, config.name, "compile_error",
                           f"{type(exc).__name__}: {exc}")
     if fault is not None:
         fault(program)
     try:
-        outcome = _execute(program, machine, poison=True)
+        with _timed(clock, "execute"):
+            outcome = _execute(program, machine, poison=True)
     except SimulationError as exc:
         return Divergence(None, config.name, "trap",
                           f"machine error in compiled code: {exc} "
@@ -488,10 +513,10 @@ def _seed_job(seed: int, configs: Sequence[DiffConfig],
         if recorder is not None:
             with recording(recorder):
                 result = check_source(source, configs, seed=seed,
-                                      artifacts=artifacts)
+                                      artifacts=artifacts, clock=clock)
         else:
             result = check_source(source, configs, seed=seed,
-                                  artifacts=artifacts)
+                                  artifacts=artifacts, clock=clock)
     payload = clock.to_payload(
         cache_hit=artifacts is not None and artifacts.hits > 0)
     if artifacts is not None:

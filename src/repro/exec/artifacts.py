@@ -93,7 +93,17 @@ class ArtifactCache:
     def __init__(self, root: Optional[str] = None,
                  version: Optional[str] = None):
         self.root = root or default_cache_dir()
-        self.version = version if version is not None else code_version()
+        if version is None:
+            version = code_version()
+            # the engine is designed to be output-identical, but the
+            # whole point of selecting the reference oracle (e.g. in a
+            # difftest run) is to *recompute* rather than replay cached
+            # bitset-engine artifacts
+            from ..analysis import liveness_engine
+            engine = liveness_engine()
+            if engine != "bitset":
+                version = f"{version}+{engine}"
+        self.version = version
         self.hits = 0
         self.misses = 0
         self.errors = 0          # corrupt entries recovered as misses

@@ -46,6 +46,17 @@ class VirtualReg:
     index: int
     rclass: RegClass
 
+    def __post_init__(self):
+        # registers are hashed millions of times per compile (every set
+        # and dict in liveness/interference keys on them); cache the
+        # value.  It must stay exactly hash((index, rclass)) — the
+        # dataclass-generated value — because set iteration order
+        # depends on it and allocator tie-breaking follows that order.
+        object.__setattr__(self, "_hash", hash((self.index, self.rclass)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     @property
     def name(self) -> str:
         return f"%{'v' if self.rclass is RegClass.INT else 'w'}{self.index}"
@@ -60,6 +71,13 @@ class PhysReg:
 
     index: int
     rclass: RegClass
+
+    def __post_init__(self):
+        # see VirtualReg.__post_init__
+        object.__setattr__(self, "_hash", hash((self.index, self.rclass)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def name(self) -> str:

@@ -45,7 +45,33 @@ def verify_function(fn: Function, program: Program = None) -> None:
                     f"{fn.name}/{block.label}: phi after non-phi instruction")
             if not instr.is_phi:
                 seen_non_phi = True
+    _verify_phi_labels(fn)
     _verify_defs(fn)
+
+
+def _verify_phi_labels(fn: Function) -> None:
+    """Every phi label must name an actual CFG predecessor.
+
+    Liveness folds a phi's source into the live-out of the labeled
+    block (``phi_uses_at_pred``); a label that is not a real predecessor
+    silently attributes liveness to an unrelated block — a pass bug
+    (typically a missed phi update after edge redirection) that
+    otherwise surfaces only as a mysterious allocation difference.
+    """
+    preds = {b.label: set() for b in fn.blocks}
+    for block in fn.blocks:
+        for target in block.successor_labels():
+            preds[target].add(block.label)
+    for block in fn.blocks:
+        for idx, instr in enumerate(block.instructions):
+            if not instr.is_phi:
+                break
+            for label in instr.phi_labels:
+                if label not in preds[block.label]:
+                    raise VerificationError(
+                        f"{fn.name}/{block.label}[{idx}] phi: label "
+                        f"{label!r} is not a predecessor of "
+                        f"{block.label!r}")
 
 
 def _verify_defs(fn: Function) -> None:

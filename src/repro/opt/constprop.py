@@ -84,13 +84,15 @@ def _evaluate(instr: Instruction, lattice: _Lattice):
     return _BOTTOM  # loads, calls, loadG: unknown
 
 
-def sccp(fn: Function) -> int:
+def sccp(fn: Function, manager=None) -> int:
     """Run SCCP on an SSA-form function; returns number of rewrites.
 
     Folds constant computations to ``loadI``/``loadFI`` and rewrites
-    conditional branches whose condition is a known constant into jumps.
+    conditional branches whose condition is a known constant into jumps
+    (so callers holding an analysis cache must invalidate with
+    ``cfg=True`` when this returns nonzero).
     """
-    cfg = CFG(fn)
+    cfg = manager.cfg() if manager is not None else CFG(fn)
     lattice = _Lattice()
     executable: Set[Tuple[Optional[str], str]] = set()
     block_reached: Set[str] = set()

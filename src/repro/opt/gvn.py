@@ -51,10 +51,19 @@ class _ScopedTable:
         self._scopes[-1][key] = value
 
 
-def gvn(fn: Function) -> int:
-    """Value-number ``fn`` (must be SSA); returns replacements made."""
-    cfg = CFG(fn)
-    dom = DominatorTree(cfg)
+def gvn(fn: Function, manager=None) -> int:
+    """Value-number ``fn`` (must be SSA); returns replacements made.
+
+    ``manager`` (an :class:`~repro.analysis.manager.AnalysisManager`)
+    supplies cached CFG/dominators; GVN itself never changes control
+    flow, so the caches stay valid across it.
+    """
+    if manager is not None:
+        cfg = manager.cfg()
+        dom = manager.dominators()
+    else:
+        cfg = CFG(fn)
+        dom = DominatorTree(cfg)
     table = _ScopedTable()
     vn: Dict[VirtualReg, object] = {}  # SSA name -> value number (a rep reg)
     changed = [0]

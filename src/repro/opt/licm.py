@@ -48,15 +48,23 @@ _LOADS = {Opcode.LOAD, Opcode.FLOAD, Opcode.LOADAI, Opcode.FLOADAI}
 _STORES = {Opcode.STORE, Opcode.FSTORE, Opcode.STOREAI, Opcode.FSTOREAI}
 
 
-def licm(fn: Function, hoist_loads: bool = True) -> int:
+def licm(fn: Function, hoist_loads: bool = True, manager=None) -> int:
     """Hoist invariant code out of every natural loop; returns count.
 
     Requires SSA form (single definitions make invariance a per-name
     property).  Creates a preheader for each loop that lacks one.
+    ``manager`` seeds the initial CFG/dominators/loops from the analysis
+    cache; LICM changes control flow when it hoists, so the caller must
+    invalidate with ``cfg=True`` whenever this returns nonzero.
     """
-    cfg = CFG(fn)
-    dom = DominatorTree(cfg)
-    loops = LoopInfo(fn, cfg, dom)
+    if manager is not None:
+        cfg = manager.cfg()
+        dom = manager.dominators()
+        loops = manager.loops()
+    else:
+        cfg = CFG(fn)
+        dom = DominatorTree(cfg)
+        loops = LoopInfo(fn, cfg, dom)
     hoisted = 0
     # inner loops first (smallest body), so invariants bubble outward
     # across multiple passes of the pipeline

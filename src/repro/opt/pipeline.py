@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from ..analysis import build_ssa, destroy_ssa, remove_unreachable_blocks
+from ..analysis import (AnalysisManager, build_ssa, destroy_ssa,
+                        remove_unreachable_blocks)
 from ..ir import Function, Program, verify_function
 from ..trace import trace_counter, trace_span, traced_pass
 from .constprop import sccp
@@ -30,6 +31,15 @@ _TRACED = {name: traced_pass(name)(fn)
            for name, fn in (("sccp", sccp), ("gvn", gvn), ("licm", licm),
                             ("copyprop", copy_propagate), ("dce", dce),
                             ("peephole", peephole), ("cfg", simplify_cfg))}
+
+# Passes that accept the shared AnalysisManager (they consume cached
+# CFG/dominators/loops).
+_MANAGER_AWARE = {"sccp", "gvn", "licm"}
+# Passes that never change block membership or terminator targets; after
+# these, a nonzero rewrite count invalidates only instruction-level
+# facts.  sccp folds cbr->jump, licm inserts preheaders, and peephole
+# rewrites equal-arm cbr to jump — all three can change the CFG.
+_PRESERVES_CFG = {"gvn", "copyprop", "dce"}
 
 
 @dataclass
@@ -62,6 +72,7 @@ def optimize_function(fn: Function, max_rounds: int = 8,
     with trace_span("opt.function", fn=fn.name):
         remove_unreachable_blocks(fn)
         build_ssa(fn)
+        manager = AnalysisManager(fn)
         passes = [(name, _TRACED[name])
                   for name in ("sccp", "gvn", "copyprop", "dce", "peephole")]
         if enable_licm:
@@ -69,7 +80,12 @@ def optimize_function(fn: Function, max_rounds: int = 8,
         for _ in range(max_rounds):
             round_changes = 0
             for name, pass_fn in passes:
-                count = pass_fn(fn)
+                if name in _MANAGER_AWARE:
+                    count = pass_fn(fn, manager=manager)
+                else:
+                    count = pass_fn(fn)
+                if count:
+                    manager.invalidate(cfg=name not in _PRESERVES_CFG)
                 report.add(name, count)
                 round_changes += count
                 if check:

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..analysis import AnalysisManager, iter_bits
 from ..ir import (Function, Instruction, Opcode, PhysReg, RegClass,
                   VirtualReg, make_ccm_load, make_ccm_store, make_move,
                   make_reload, make_spill)
@@ -102,7 +103,8 @@ class ChaitinBriggsAllocator:
 
     def __init__(self, fn: Function, machine: MachineConfig,
                  slot_provider=None, graph_hook=None,
-                 rematerialize: bool = True):
+                 rematerialize: bool = True,
+                 manager: Optional[AnalysisManager] = None):
         self.fn = fn
         self.machine = machine
         self.slot_provider = slot_provider or StackSlotProvider(fn)
@@ -110,6 +112,11 @@ class ChaitinBriggsAllocator:
         self.rematerialize = rematerialize
         self.no_spill: Set[VirtualReg] = set()
         self.result = AllocationResult(fn)
+        # one analysis cache for every spill round: CFG / dominators /
+        # loops survive the whole allocation (coalescing and spill
+        # insertion never change the block graph); liveness is
+        # recomputed only after a pass reports an instruction mutation
+        self.analysis = manager or AnalysisManager(fn)
         # per-coalesce cache of _color_degree, see _node_degree
         self._degree_cache: Dict[object, int] = {}
 
@@ -126,11 +133,13 @@ class ChaitinBriggsAllocator:
             self.result.rounds += 1
             graph = self._build()
             self.result.coalesced += self._coalesce(graph)
-            costs = compute_spill_costs(self.fn, self.no_spill)
+            costs = compute_spill_costs(self.fn, self.no_spill,
+                                        loop_info=self.analysis.loops())
             stack = self._simplify(graph, costs)
             assignment, actual_spills = self._select(graph, stack)
             if not actual_spills:
                 self._rewrite(assignment)
+                self.analysis.invalidate(cfg=False)
                 self.result.assignment = assignment
                 return self.result
             trace_counter("regalloc.spill_rounds")
@@ -155,7 +164,8 @@ class ChaitinBriggsAllocator:
 
     def _build(self) -> InterferenceGraph:
         return build_interference_graph(self.fn, self.machine,
-                                        self.graph_hook)
+                                        self.graph_hook,
+                                        manager=self.analysis)
 
     def _k(self, rclass: RegClass) -> int:
         return self.machine.n_regs(rclass)
@@ -196,6 +206,7 @@ class ChaitinBriggsAllocator:
 
         if merged:
             self._rewrite_aliases(find)
+            self.analysis.invalidate(cfg=False)
         return merged
 
     def _can_coalesce(self, graph: InterferenceGraph, a, b) -> bool:
@@ -203,15 +214,26 @@ class ChaitinBriggsAllocator:
         if isinstance(a, PhysReg):
             # George test: every neighbor of b must either already
             # conflict with a (distinct physical registers always do)
-            # or be insignificant.
-            return all(graph.interferes(t, a)
-                       or (isinstance(t, PhysReg) and t != a)
-                       or self._node_degree(graph, t) < k
-                       for t in graph.neighbors(b))
+            # or be insignificant.  Pseudo nodes (degree 0) and other
+            # physical registers pass unconditionally, so only b's
+            # virtual neighbors not already adjacent to a need a degree
+            # check.
+            amask = graph.neighbor_mask(graph.id_of(a))
+            check = (graph.neighbor_mask(graph.id_of(b))
+                     & graph.vreg_mask & ~amask)
+            return all(self._node_degree(graph, graph.node_at(j)) < k
+                       for j in iter_bits(check))
         # Briggs test: the merged node has < k significant neighbors.
-        combined = graph.neighbors(a) | graph.neighbors(b)
-        significant = sum(1 for t in combined
-                          if self._node_degree(graph, t) >= k)
+        combined = (graph.neighbor_mask(graph.id_of(a))
+                    | graph.neighbor_mask(graph.id_of(b)))
+        significant = (combined & graph.phys_mask).bit_count()
+        if significant >= k:
+            return False
+        for j in iter_bits(combined & graph.vreg_mask):
+            if self._node_degree(graph, graph.node_at(j)) >= k:
+                significant += 1
+                if significant >= k:
+                    return False
         return significant < k
 
     def _node_degree(self, graph: InterferenceGraph, node) -> float:
@@ -224,29 +246,16 @@ class ChaitinBriggsAllocator:
         degree = self._degree_cache.get(node)
         if degree is None:
             degree = self._degree_cache[node] = \
-                self._color_degree(graph, node)
+                graph.color_degree(graph.id_of(node))
         return degree
-
-    @staticmethod
-    def _color_degree(graph: InterferenceGraph, node) -> int:
-        """Degree counting only register neighbors (pseudo nodes are
-        ignored during allocation, per the paper)."""
-        return sum(1 for t in graph.neighbors(node)
-                   if not isinstance(t, PseudoNode))
 
     def _merge_nodes(self, graph: InterferenceGraph, a, b) -> None:
         self._degree_cache.pop(a, None)
         self._degree_cache.pop(b, None)
-        for t in list(graph.neighbors(b)):
-            self._degree_cache.pop(t, None)
-            graph.adj[t].discard(b)
-            if isinstance(t, PseudoNode):
-                graph.add_pseudo_edge(a, t)
-            else:
-                graph.add_edge(a, t)
-        graph.adj.pop(b, None)
-        graph.moves = {(x if x != b else a, y if y != b else a)
-                       for x, y in graph.moves}
+        for j in iter_bits(graph.neighbor_mask(graph.id_of(b))
+                           & ~graph.pseudo_mask):
+            self._degree_cache.pop(graph.node_at(j), None)
+        graph.merge_into(a, b)
 
     def _rewrite_aliases(self, find) -> None:
         for block in self.fn.blocks:
@@ -267,46 +276,78 @@ class ChaitinBriggsAllocator:
     def _simplify(self, graph: InterferenceGraph, costs) -> List[Tuple]:
         """Remove nodes, cheapest-first when blocked (optimistic spilling).
 
-        Returns the select stack of (node, potential_spill) pairs."""
-        degrees: Dict[object, int] = {}
+        Returns the select stack of (node, potential_spill) pairs.
+
+        All degree bookkeeping lives in graph-id space (a flat list
+        indexed by node id, decremented with an inlined low-bit loop):
+        this inner loop runs once per (node, neighbor) edge and is the
+        hottest code in the allocator.  The ``removable`` *set* of nodes
+        is kept as the iteration source for candidate selection so the
+        removal order — and hence coloring and tie-breaks — is exactly
+        the historical one."""
+        ids = graph._ids
+        adj = graph._adj
+        vreg_mask = graph.vreg_mask
+        pseudo_mask = graph.pseudo_mask
+        deg = [0] * len(graph._node_list)
+        kof: Dict[object, int] = {}
         removable: Set = set()
         for node in graph.nodes():
             if isinstance(node, VirtualReg):
                 removable.add(node)
-                degrees[node] = self._color_degree(graph, node)
+                i = ids[node]
+                deg[i] = (adj[i] & ~pseudo_mask).bit_count()
+                kof[node] = self._k(node.rclass)
         stack: List[Tuple] = []
 
         def remove(node, potential: bool) -> None:
             stack.append((node, potential))
             removable.discard(node)
-            for t in graph.neighbors(node):
-                if t in degrees:
-                    degrees[t] -= 1
+            mask = adj[ids[node]] & vreg_mask
+            while mask:
+                low = mask & -mask
+                deg[low.bit_length() - 1] -= 1
+                mask ^= low
 
         while removable:
-            trivially = [n for n in removable
-                         if degrees[n] < self._k(n.rclass)]
+            trivially = [n for n in removable if deg[ids[n]] < kof[n]]
             if trivially:
                 for node in trivially:
                     remove(node, potential=False)
                 continue
             # blocked: choose the cheapest spill candidate (cost / degree)
             best = min(removable,
-                       key=lambda n: (costs.get(n, 0.0) / max(degrees[n], 1)))
+                       key=lambda n: (costs.get(n, 0.0)
+                                      / max(deg[ids[n]], 1)))
             remove(best, potential=True)
         return stack
 
     def _select(self, graph: InterferenceGraph, stack: List[Tuple]):
         assignment: Dict[VirtualReg, PhysReg] = {}
         actual_spills: List[VirtualReg] = []
+        ids = graph._ids
+        adj = graph._adj
+        node_list = graph._node_list
+        phys_mask = graph.phys_mask
+        # color_of[j]: the color occupied by node j — the register index
+        # for a physical node, the assigned color for a colored vreg.
+        color_of = [0] * len(node_list)
+        pm = phys_mask
+        while pm:
+            low = pm & -pm
+            j = low.bit_length() - 1
+            color_of[j] = node_list[j].index
+            pm ^= low
+        assigned_mask = 0
         for node, potential in reversed(stack):
             k = self._k(node.rclass)
+            i = ids[node]
             taken: Set[int] = set()
-            for t in graph.neighbors(node):
-                if isinstance(t, PhysReg):
-                    taken.add(t.index)
-                elif t in assignment:
-                    taken.add(assignment[t].index)
+            mask = adj[i] & (phys_mask | assigned_mask)
+            while mask:
+                low = mask & -mask
+                taken.add(color_of[low.bit_length() - 1])
+                mask ^= low
             color = next((c for c in range(k) if c not in taken), None)
             if color is None:
                 if node in self.no_spill:
@@ -316,6 +357,8 @@ class ChaitinBriggsAllocator:
                 actual_spills.append(node)
             else:
                 assignment[node] = PhysReg(color, node.rclass)
+                color_of[i] = color
+                assigned_mask |= 1 << i
         return assignment, actual_spills
 
     # .. spill code ..................................................................
@@ -419,6 +462,9 @@ class ChaitinBriggsAllocator:
                 rewritten.append(instr)
                 rewritten.extend(post)
             block.instructions = rewritten
+        # spill loads/stores (and rematerialized clones) changed the
+        # instruction stream but not the block graph
+        self.analysis.invalidate(cfg=False)
 
     def _make_store(self, temp, location: SpillLocation) -> Instruction:
         if location.kind == "ccm":
@@ -452,7 +498,9 @@ class ChaitinBriggsAllocator:
 
 def allocate_function(fn: Function, machine: MachineConfig,
                       slot_provider=None, graph_hook=None,
-                      rematerialize: bool = True) -> AllocationResult:
+                      rematerialize: bool = True,
+                      manager: Optional[AnalysisManager] = None
+                      ) -> AllocationResult:
     """Allocate registers for ``fn`` in place; returns the result record."""
     return ChaitinBriggsAllocator(fn, machine, slot_provider, graph_hook,
-                                  rematerialize).run()
+                                  rematerialize, manager=manager).run()

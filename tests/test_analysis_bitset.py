@@ -1,0 +1,178 @@
+"""Units for the dense bitset dataflow layer and the analysis cache.
+
+The bitset engine (``repro.analysis.bitset``) is the default liveness/
+interference backend; the set-based code remains as a reference oracle
+(``REPRO_LIVENESS_ENGINE=sets``).  These tests pin the primitives the
+engine is built from and the manager's caching contract; the end-to-end
+bitset-vs-oracle equivalence lives in ``test_bitset_oracle_fuzz.py``.
+"""
+
+import pytest
+
+from repro.analysis import (CFG, AnalysisManager, DenseIndex,
+                            compute_liveness, compute_liveness_masks,
+                            iter_bits, liveness_engine, set_liveness_engine)
+from repro.analysis.bitset import MaskSetView
+from repro.ir import RegClass, VirtualReg, parse_function
+from repro.trace import TraceRecorder, recording
+
+
+def _v(i, rc=RegClass.INT):
+    return VirtualReg(i, rc)
+
+
+DIAMOND = """
+.func f(%v0)
+entry:
+    loadI 10 => %v1
+    cbr %v0 -> left, right
+left:
+    addI %v0, 1 => %v3
+    jump -> join
+right:
+    addI %v0, 2 => %v4
+    jump -> join
+join:
+    phi [%v3, left], [%v4, right] => %v5
+    add %v5, %v1 => %v6
+    ret %v6
+.endfunc
+"""
+
+
+class TestIterBits:
+    def test_empty_mask(self):
+        assert list(iter_bits(0)) == []
+
+    def test_ascending_order(self):
+        mask = (1 << 0) | (1 << 3) | (1 << 17) | (1 << 64) | (1 << 200)
+        assert list(iter_bits(mask)) == [0, 3, 17, 64, 200]
+
+    def test_roundtrip(self):
+        bits = {1, 5, 63, 64, 65, 1000}
+        mask = 0
+        for b in bits:
+            mask |= 1 << b
+        assert set(iter_bits(mask)) == bits
+
+
+class TestDenseIndex:
+    def test_ids_are_dense_and_deterministic(self):
+        fn = parse_function(DIAMOND)
+        index = DenseIndex(fn)
+        n = len(fn.all_registers())
+        assert sorted(index.ids.values()) == list(range(n))
+        again = DenseIndex(fn)
+        assert again.ids == index.ids
+
+    def test_mask_set_roundtrip(self):
+        fn = parse_function(DIAMOND)
+        index = DenseIndex(fn)
+        regs = {_v(0), _v(3), _v(5)}
+        assert index.set_of(index.mask_of(regs)) == regs
+
+    def test_class_masks_partition_registers(self):
+        fn = parse_function(DIAMOND)
+        index = DenseIndex(fn)
+        all_mask = (1 << len(index.regs)) - 1
+        assert (index.class_mask[RegClass.INT]
+                | index.class_mask[RegClass.FLOAT]) == all_mask
+        assert (index.class_mask[RegClass.INT]
+                & index.class_mask[RegClass.FLOAT]) == 0
+
+
+class TestMaskSetView:
+    def test_behaves_like_a_set(self):
+        fn = parse_function(DIAMOND)
+        index = DenseIndex(fn)
+        regs = {_v(1), _v(4)}
+        view = MaskSetView(index.mask_of(regs), index)
+        assert len(view) == 2
+        assert _v(1) in view and _v(4) in view
+        assert _v(0) not in view
+        assert set(view) == regs
+        assert bool(view)
+        assert not MaskSetView(0, index)
+
+
+class TestBitLivenessMasks:
+    def test_matches_set_oracle_on_diamond(self):
+        fn = parse_function(DIAMOND)
+        cfg = CFG(fn)
+        bits = compute_liveness_masks(fn, cfg)
+        oracle = compute_liveness(fn, cfg, engine="sets")
+        for block in fn.blocks:
+            label = block.label
+            assert bits.index.set_of(bits.live_in[label]) \
+                == oracle.live_in[label], label
+            assert bits.index.set_of(bits.live_out[label]) \
+                == oracle.live_out[label], label
+
+    def test_phi_source_charged_to_predecessor_only(self):
+        fn = parse_function(DIAMOND)
+        bits = compute_liveness_masks(fn, CFG(fn))
+        index = bits.index
+        # %v3 flows into the phi from 'left': live out of left,
+        # not live out of right
+        assert index.id_of(_v(3)) in set(iter_bits(bits.live_out["left"]))
+        assert index.id_of(_v(3)) not in set(iter_bits(bits.live_out["right"]))
+
+
+class TestEngineSelection:
+    def test_default_is_bitset(self):
+        assert liveness_engine() in ("bitset", "sets")
+
+    def test_set_engine_roundtrip(self):
+        old = liveness_engine()
+        try:
+            set_liveness_engine("sets")
+            assert liveness_engine() == "sets"
+            set_liveness_engine("bitset")
+            assert liveness_engine() == "bitset"
+        finally:
+            set_liveness_engine(old)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            set_liveness_engine("quantum")
+
+    def test_both_engines_agree_via_public_api(self):
+        fn = parse_function(DIAMOND)
+        a = compute_liveness(fn, engine="bitset")
+        b = compute_liveness(fn, engine="sets")
+        for block in fn.blocks:
+            assert set(a.live_in[block.label]) == set(b.live_in[block.label])
+            assert set(a.live_out[block.label]) == set(b.live_out[block.label])
+
+
+class TestAnalysisManager:
+    def test_caches_and_counts(self):
+        fn = parse_function(DIAMOND)
+        manager = AnalysisManager(fn)
+        with recording(TraceRecorder()) as rec:
+            first = manager.cfg()
+            assert manager.cfg() is first
+            live = manager.liveness()
+            assert manager.liveness() is live
+            assert manager.dominators() is manager.dominators()
+            assert manager.loops() is manager.loops()
+        assert rec.counters.get("analysis.cache_hit", 0) >= 4
+        assert rec.counters.get("analysis.cache_miss", 0) >= 2
+
+    def test_instr_invalidation_keeps_cfg(self):
+        fn = parse_function(DIAMOND)
+        manager = AnalysisManager(fn)
+        cfg = manager.cfg()
+        live = manager.liveness()
+        manager.invalidate(cfg=False)
+        assert manager.cfg() is cfg          # CFG facts survive
+        assert manager.liveness() is not live  # instruction facts do not
+
+    def test_cfg_invalidation_drops_everything(self):
+        fn = parse_function(DIAMOND)
+        manager = AnalysisManager(fn)
+        cfg = manager.cfg()
+        dom = manager.dominators()
+        manager.invalidate(cfg=True)
+        assert manager.cfg() is not cfg
+        assert manager.dominators() is not dom

@@ -109,7 +109,8 @@ entry:
         live = compute_liveness(fn)
         walk = dict()
         for idx, instr, after in live.live_across_instructions("entry"):
-            walk[idx] = after
+            # the yielded set is only valid until the generator advances
+            walk[idx] = set(after)
         assert walk[3] == set()             # after ret
         assert walk[2] == {_v(2)}           # after add
         assert walk[1] == {_v(0), _v(1)}    # after second loadI

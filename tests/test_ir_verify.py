@@ -54,6 +54,25 @@ class TestBlockStructure:
         with pytest.raises(VerificationError, match="phi after non-phi"):
             verify_function(fn)
 
+    def test_phi_label_must_be_a_predecessor(self):
+        # liveness charges a phi's source to the labeled predecessor's
+        # live-out; a label naming a non-predecessor (here: a stale edge
+        # left behind by a branch rewrite) must be rejected
+        fn = Function("f")
+        entry = fn.add_block(BasicBlock("entry"))
+        other = fn.add_block(BasicBlock("other"))
+        join = fn.add_block(BasicBlock("join"))
+        entry.append(Instruction(Opcode.LOADI, [_v(0)], [], imm=1))
+        entry.append(Instruction(Opcode.JUMP, labels=["join"]))
+        other.append(Instruction(Opcode.LOADI, [_v(1)], [], imm=2))
+        other.append(Instruction(Opcode.RET, srcs=[_v(1)]))
+        join.append(Instruction(Opcode.PHI, [_v(2)], [_v(0), _v(1)],
+                                phi_labels=["entry", "other"]))
+        join.append(Instruction(Opcode.RET, srcs=[_v(2)]))
+        with pytest.raises(VerificationError,
+                           match="not a predecessor"):
+            verify_function(fn)
+
 
 class TestOperandShapes:
     def test_wrong_src_count(self):
