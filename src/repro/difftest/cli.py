@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from ..analysis import set_liveness_engine
 from ..exec import ArtifactCache, SweepStats, default_cache_dir, default_jobs
+from ..machine import set_sim_engine
 from ..trace import TraceRecorder, format_summary, write_chrome_trace
 from .corpus import save_corpus_entry
 from .gen import generate_source
@@ -75,6 +76,12 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None
                              "'bitset' (dense masks; default) or 'sets' "
                              "(the reference oracle). Exported to worker "
                              "processes via REPRO_LIVENESS_ENGINE.")
+    parser.add_argument("--sim-engine", choices=("predecode", "interp"),
+                        default=None,
+                        help="simulator execution engine: 'predecode' "
+                             "(closure-compiled; default) or 'interp' "
+                             "(the reference oracle). Exported to worker "
+                             "processes via REPRO_SIM_ENGINE.")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the JSON report here ('-' for stdout)")
     parser.add_argument("-j", "--jobs", type=int, default=None,
@@ -128,6 +135,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # re-read the environment at import
         os.environ["REPRO_LIVENESS_ENGINE"] = args.liveness_engine
         set_liveness_engine(args.liveness_engine)
+    if args.sim_engine is not None:
+        os.environ["REPRO_SIM_ENGINE"] = args.sim_engine
+        set_sim_engine(args.sim_engine)
     configs = config_lattice(tuple(args.ccm), geometry=args.machine)
 
     artifacts = (None if args.no_cache

@@ -95,14 +95,18 @@ class ArtifactCache:
         self.root = root or default_cache_dir()
         if version is None:
             version = code_version()
-            # the engine is designed to be output-identical, but the
-            # whole point of selecting the reference oracle (e.g. in a
+            # the engines are designed to be output-identical, but the
+            # whole point of selecting a reference oracle (e.g. in a
             # difftest run) is to *recompute* rather than replay cached
-            # bitset-engine artifacts
+            # default-engine artifacts
             from ..analysis import liveness_engine
             engine = liveness_engine()
             if engine != "bitset":
                 version = f"{version}+{engine}"
+            from ..machine import sim_engine
+            engine = sim_engine()
+            if engine != "predecode":
+                version = f"{version}+sim-{engine}"
         self.version = version
         self.hits = 0
         self.misses = 0

@@ -58,6 +58,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="CCM size in bytes for table2 (default 512)")
     parser.add_argument("--routines", type=str, default="",
                         help="comma-separated routine subset")
+    parser.add_argument("--sim-engine", choices=("predecode", "interp"),
+                        default=None,
+                        help="simulator execution engine: 'predecode' "
+                             "(closure-compiled; default) or 'interp' "
+                             "(the reference oracle). Exported to worker "
+                             "processes via REPRO_SIM_ENGINE.")
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: all cores; "
                              "-j 1 is the deterministic serial path)")
@@ -79,6 +85,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the trace as Chrome trace_event JSON "
                              "(implies --trace)")
     args = parser.parse_args(argv)
+
+    if args.sim_engine is not None:
+        # both for this process and for spawned sweep workers, which
+        # re-read the environment at import
+        import os
+
+        from ..machine import set_sim_engine
+        os.environ["REPRO_SIM_ENGINE"] = args.sim_engine
+        set_sim_engine(args.sim_engine)
 
     workloads = _routine_list(args.routines)
     jobs = args.jobs if args.jobs is not None else default_jobs()

@@ -2,13 +2,14 @@
 
 from .cache import CacheConfig, CacheStats, DataCache
 from .simulator import (OutOfFuel, RunResult, RunStats, SimulationError,
-                        Simulator, POISON)
+                        Simulator, POISON, sim_engine, set_sim_engine)
 from .target import (DEFAULT_MACHINE, MachineConfig, PAPER_MACHINE_1024,
                      PAPER_MACHINE_512)
 
 __all__ = [
     "CacheConfig", "CacheStats", "DataCache", "OutOfFuel", "RunResult",
     "RunStats", "SimulationError", "Simulator", "POISON",
+    "sim_engine", "set_sim_engine",
     "DEFAULT_MACHINE", "MachineConfig", "PAPER_MACHINE_1024",
     "PAPER_MACHINE_512",
 ]

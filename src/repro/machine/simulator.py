@@ -22,6 +22,7 @@ Design notes:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -32,6 +33,34 @@ from .target import DEFAULT_MACHINE, MachineConfig
 
 GLOBAL_BASE = 0x1000
 STACK_BASE = 0x8000_0000
+
+# -- engine selection ----------------------------------------------------------
+#
+# Two execution engines produce bit-identical results (the fuzz
+# equivalence suite enforces it): "predecode" compiles each function
+# once into specialized closures (repro.machine.predecode) and is the
+# default; "interp" is this module's reference interpreter, retained as
+# the oracle the fast engine is differentially tested against — the
+# same pattern as REPRO_LIVENESS_ENGINE for the dataflow engines.
+
+_VALID_SIM_ENGINES = ("predecode", "interp")
+
+_sim_engine = os.environ.get("REPRO_SIM_ENGINE", "predecode")
+
+
+def sim_engine() -> str:
+    """The current default simulator engine name."""
+    return _sim_engine
+
+
+def set_sim_engine(name: str) -> None:
+    """Select the engine new :class:`Simulator` instances use."""
+    global _sim_engine
+    if name not in _VALID_SIM_ENGINES:
+        raise ValueError(
+            f"unknown simulator engine {name!r}; "
+            f"expected one of {_VALID_SIM_ENGINES}")
+    _sim_engine = name
 
 
 class SimulationError(RuntimeError):
@@ -126,13 +155,21 @@ class Simulator:
 
     def __init__(self, program: Program, machine: MachineConfig = DEFAULT_MACHINE,
                  cache: Optional[DataCache] = None, fuel: int = 50_000_000,
-                 poison_caller_saved: bool = False, profile: bool = False):
+                 poison_caller_saved: bool = False, profile: bool = False,
+                 engine: Optional[str] = None):
         self.program = program
         self.machine = machine
         self.cache = cache
         self.fuel = fuel
         self.poison_caller_saved = poison_caller_saved
         self.profile = profile
+        if engine is None:
+            engine = _sim_engine
+        if engine not in _VALID_SIM_ENGINES:
+            raise ValueError(
+                f"unknown simulator engine {engine!r}; "
+                f"expected one of {_VALID_SIM_ENGINES}")
+        self.engine = engine
 
         self.memory: Dict[int, object] = {}
         self.ccm: Dict[int, object] = {}
@@ -225,6 +262,13 @@ class Simulator:
         return result
 
     def _run(self, entry: Optional[str] = None, args: List = ()) -> RunResult:
+        if self.engine == "predecode":
+            from .predecode import run_predecode
+            return run_predecode(self, entry, args)
+        return self._run_interp(entry, args)
+
+    def _run_interp(self, entry: Optional[str] = None,
+                    args: List = ()) -> RunResult:
         entry = entry or self.program.entry_name
         fn = self.program.functions[entry]
         if len(args) != len(fn.params):
@@ -235,6 +279,11 @@ class Simulator:
         frame = self._push_frame(fn, stack)
         for param, value in zip(fn.params, args):
             self._write(frame, param, value)
+        if self.profile:
+            # block executions are counted on control-transfer edges
+            # (entry here; jump/cbr/call in _execute), not by checking
+            # frame.index == 0 on every instruction of the main loop
+            self._count_block(stats, frame)
 
         result: object = None
         while True:
@@ -246,11 +295,6 @@ class Simulator:
                 raise SimulationError(
                     f"{frame.fn.name}/{frame.label}: fell off block end")
             instr = block.instructions[frame.index]
-            if self.profile and frame.index == 0:
-                if stats.block_counts is None:
-                    stats.block_counts = {}
-                key = (frame.fn.name, frame.label)
-                stats.block_counts[key] = stats.block_counts.get(key, 0) + 1
             stats.instructions += 1
             outcome = self._execute(instr, frame, stack, stats)
             if outcome == "halt":
@@ -273,6 +317,14 @@ class Simulator:
         frame = _Frame(fn, base)
         stack.append(frame)
         return frame
+
+    def _count_block(self, stats: RunStats, frame: _Frame) -> None:
+        """Record one execution of the block ``frame`` is entering."""
+        counts = stats.block_counts
+        if counts is None:
+            counts = stats.block_counts = {}
+        key = (frame.fn.name, frame.label)
+        counts[key] = counts.get(key, 0) + 1
 
     # -- execution ------------------------------------------------------------------
 
@@ -304,9 +356,12 @@ class Simulator:
             if stall > 0:
                 stats.cycles += stall
                 stats.stall_cycles += stall
+            # prune settled entries in place rather than rebuilding the
+            # whole dict on every instruction with a pending load
             now = stats.cycles
-            self._ready_at = {r: c for r, c in self._ready_at.items()
-                              if c > now}
+            stale = [r for r, c in self._ready_at.items() if c <= now]
+            for r in stale:
+                del self._ready_at[r]
 
         if op is Opcode.PHI:
             raise SimulationError(
@@ -410,11 +465,15 @@ class Simulator:
             frame.label = instr.labels[0]
             frame.index = 0
             advance = False
+            if self.profile:
+                self._count_block(stats, frame)
         elif op is Opcode.CBR:
             cond = self._read(frame, instr.srcs[0])
             frame.label = instr.labels[0] if cond != 0 else instr.labels[1]
             frame.index = 0
             advance = False
+            if self.profile:
+                self._count_block(stats, frame)
         elif op is Opcode.CALL:
             callee = self.program.functions.get(instr.symbol)
             if callee is None:
@@ -428,6 +487,8 @@ class Simulator:
                     f"{callee.name}: arity mismatch at call from {frame.fn.name}")
             for param, value in zip(callee.params, arg_values):
                 self._write(new_frame, param, value)
+            if self.profile:
+                self._count_block(stats, new_frame)
             stats.calls += 1
             stats.cycles += latency
             self._account(instr, latency, stats)
