@@ -1,0 +1,50 @@
+"""Allocator-backend throughput: Chaitin-Briggs vs. the SSA family.
+
+Times full register allocation per backend on fpppp and twldrv — the
+suite's two largest routines, where the difference between Chaitin's
+iterate-until-colorable loop and the SSA backend's
+spill-then-color-once pipeline is most visible.  Capture a
+machine-readable snapshot with::
+
+    pytest benchmarks/test_regalloc_throughput.py \
+        --benchmark-json=BENCH_throughput.json
+"""
+
+import copy
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.machine import PAPER_MACHINE_512
+from repro.opt import optimize_program
+from repro.regalloc import allocate_function, lower_calling_convention
+from repro.workloads import routine_source
+
+ENGINES = ("chaitin", "ssa", "ssa-everywhere")
+
+
+def _lowered_program(name):
+    """The routine after scalar opt and call lowering, allocation-ready."""
+    prog = compile_source(routine_source(name))
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        lower_calling_convention(fn, PAPER_MACHINE_512)
+    return prog
+
+
+@pytest.mark.parametrize("routine", ["fpppp", "twldrv"])
+@pytest.mark.parametrize("engine", ENGINES)
+def test_allocation_speed_by_engine(benchmark, routine, engine):
+    # allocation mutates the function: hand each round a fresh copy
+    rounds = 3
+    template = _lowered_program(routine)
+    progs = [copy.deepcopy(template) for _ in range(rounds)]
+    it = iter(progs)
+
+    def allocate_all():
+        prog = next(it)
+        return [allocate_function(fn, PAPER_MACHINE_512, engine=engine)
+                for fn in prog.functions.values()]
+
+    results = benchmark.pedantic(allocate_all, rounds=rounds, iterations=1)
+    assert all(r.assignment is not None for r in results)

@@ -3,6 +3,9 @@
 from .bitset import BitLiveness, DenseIndex, compute_liveness_masks, iter_bits
 from .callgraph import CallGraph
 from .cfg import CFG, remove_unreachable_blocks, split_critical_edges
+from .chordal import (adjacency_of, find_perfect_elimination_order,
+                      is_chordal, is_perfect_elimination_order,
+                      max_clique_size, maximum_cardinality_search)
 from .defuse import DefUse
 from .dominators import DominatorTree
 from .liveness import (LivenessInfo, compute_liveness, liveness_engine,
@@ -18,4 +21,7 @@ __all__ = [
     "compute_liveness_masks", "iter_bits", "liveness_engine",
     "set_liveness_engine", "values_live_across_calls", "Loop", "LoopInfo",
     "build_ssa", "destroy_ssa", "is_ssa",
+    "adjacency_of", "find_perfect_elimination_order", "is_chordal",
+    "is_perfect_elimination_order", "max_clique_size",
+    "maximum_cardinality_search",
 ]

@@ -1,0 +1,85 @@
+"""Chordality helpers for SSA interference graphs.
+
+Bouchez, Darte & Rastello: the interference graph of a strict-SSA
+program is chordal, so a perfect (simplicial) elimination order exists,
+the chromatic number equals the maximum clique size, and that clique
+size is exactly MAXLIVE — the property tests pin all three.
+
+The functions here work on plain adjacency dictionaries
+(``node -> set(neighbors)``) so they can check both the production
+:class:`~repro.regalloc.interference.InterferenceGraph` (via
+``adjacency_of``) and small hand-built graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+def adjacency_of(graph, nodes=None) -> Dict[object, Set[object]]:
+    """Project an :class:`InterferenceGraph` onto ``nodes`` as an
+    adjacency dict (defaults to every node in the graph)."""
+    keep = set(graph.nodes() if nodes is None else nodes)
+    return {n: {m for m in graph.neighbors(n) if m in keep} for n in keep}
+
+
+def maximum_cardinality_search(adj: Dict[object, Set[object]],
+                               order_key=repr) -> List[object]:
+    """An MCS vertex order; its reverse is a perfect elimination order
+    iff the graph is chordal.  Ties break on ``order_key`` so the order
+    is deterministic regardless of set iteration order."""
+    weight = {n: 0 for n in adj}
+    order: List[object] = []
+    remaining = set(adj)
+    while remaining:
+        best = max(remaining, key=lambda n: (weight[n], order_key(n)))
+        order.append(best)
+        remaining.discard(best)
+        for m in adj[best]:
+            if m in remaining:
+                weight[m] += 1
+    return order
+
+
+def is_perfect_elimination_order(adj: Dict[object, Set[object]],
+                                 order: Sequence[object]) -> bool:
+    """True when eliminating vertices in ``order`` always removes a
+    simplicial vertex: each vertex's later neighbors form a clique."""
+    position = {n: i for i, n in enumerate(order)}
+    for n in order:
+        later = [m for m in adj[n] if position[m] > position[n]]
+        if not later:
+            continue
+        pivot = min(later, key=position.__getitem__)
+        rest = set(later)
+        rest.discard(pivot)
+        if not rest <= adj[pivot] | {pivot}:
+            return False
+    return True
+
+
+def find_perfect_elimination_order(adj: Dict[object, Set[object]]
+                                   ) -> Optional[List[object]]:
+    """A perfect elimination order, or None when the graph is not
+    chordal (MCS reversed is a PEO exactly for chordal graphs)."""
+    order = list(reversed(maximum_cardinality_search(adj)))
+    return order if is_perfect_elimination_order(adj, order) else None
+
+
+def is_chordal(adj: Dict[object, Set[object]]) -> bool:
+    return find_perfect_elimination_order(adj) is not None
+
+
+def max_clique_size(adj: Dict[object, Set[object]]) -> int:
+    """Maximum clique size of a *chordal* graph, via its PEO (each
+    vertex plus its later neighbors is a clique, and some such set is
+    maximum).  Raises ValueError on a non-chordal graph."""
+    order = find_perfect_elimination_order(adj)
+    if order is None:
+        raise ValueError("graph is not chordal")
+    position = {n: i for i, n in enumerate(order)}
+    best = 0
+    for n in order:
+        later = sum(1 for m in adj[n] if position[m] > position[n])
+        best = max(best, later + 1)
+    return best

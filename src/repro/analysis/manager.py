@@ -44,7 +44,8 @@ class AnalysisManager:
     in one place.
     """
 
-    __slots__ = ("fn", "_cfg", "_dom", "_loops", "_liveness", "_index")
+    __slots__ = ("fn", "_cfg", "_dom", "_loops", "_liveness", "_index",
+                 "_dom_preorder")
 
     def __init__(self, fn: Function):
         self.fn = fn
@@ -53,6 +54,7 @@ class AnalysisManager:
         self._loops: Optional[LoopInfo] = None
         self._liveness: Optional[LivenessInfo] = None
         self._index: Optional[DenseIndex] = None
+        self._dom_preorder: Optional[list] = None
 
     # -- queries -------------------------------------------------------------
 
@@ -79,6 +81,16 @@ class AnalysisManager:
         else:
             trace_counter("analysis.cache_hit")
         return self._loops
+
+    def dom_preorder(self) -> list:
+        """Dominance-order block labels (dominator-tree preorder) — the
+        deterministic coloring order of the SSA allocator."""
+        if self._dom_preorder is None:
+            trace_counter("analysis.cache_miss")
+            self._dom_preorder = self.dominators().dom_tree_preorder()
+        else:
+            trace_counter("analysis.cache_hit")
+        return self._dom_preorder
 
     def dense_index(self) -> DenseIndex:
         if self._index is None:
@@ -115,3 +127,4 @@ class AnalysisManager:
             self._cfg = None
             self._dom = None
             self._loops = None
+            self._dom_preorder = None

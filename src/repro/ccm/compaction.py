@@ -45,17 +45,23 @@ def spill_bytes_in_use(fn: Function) -> int:
     return high
 
 
-def compact_spill_memory(fn: Function) -> CompactionResult:
-    """Recolor the function's stack spill slots in place."""
+def compact_spill_memory(fn: Function,
+                         manager: AnalysisManager = None) -> CompactionResult:
+    """Recolor the function's stack spill slots in place.
+
+    ``manager``, if given, is the caller's shared analysis cache; the
+    in-place offset rewrite invalidates its instruction-level analyses.
+    """
     with trace_span("ccm.compact", fn=fn.name):
-        result = _compact_spill_memory(fn)
+        result = _compact_spill_memory(fn, manager)
     trace_counter("ccm.compaction_bytes_before", result.bytes_before)
     trace_counter("ccm.compaction_bytes_after", result.bytes_after)
     return result
 
 
-def _compact_spill_memory(fn: Function) -> CompactionResult:
-    manager = AnalysisManager(fn)
+def _compact_spill_memory(fn: Function,
+                          manager: AnalysisManager = None) -> CompactionResult:
+    manager = manager or AnalysisManager(fn)
     webs = find_spill_webs(fn, manager=manager)
     before = fn.frame_size or spill_bytes_in_use(fn)
     if not webs:
@@ -80,6 +86,7 @@ def _compact_spill_memory(fn: Function) -> CompactionResult:
         for label, idx in web.sites:
             fn.block(label).instructions[idx].imm = offset
     fn.frame_size = high
+    manager.invalidate(cfg=False)
     return CompactionResult(fn.name, before, high, len(webs))
 
 

@@ -164,6 +164,12 @@ class IntegratedCcmSlotProvider(StackSlotProvider):
         #: the interference graph consulted for the footnote-5 rule
         self._round: List[Tuple[VirtualReg, int, int]] = []
         self._live_across_call: Set = set()
+        #: set by the split-mode SSA allocator: its def-residency keeps
+        #: uses reading the register, so an assigned CCM location can
+        #: look dead (store, no loads) yet grow loads in a later
+        #: re-spill round.  Block the offsets of every owner that might
+        #: still overlap instead of trusting the store->load spans.
+        self.conservative_owners = False
 
     def begin_round(self, live_across_call: Set) -> None:
         self._round = []
@@ -195,6 +201,16 @@ class IntegratedCcmSlotProvider(StackSlotProvider):
         for other, off, osize in self._round:
             if other.rclass is not reg.rclass or graph.interferes(reg, other):
                 blocked.append((off, osize))
+        if self.conservative_owners:
+            # a location's future span stays within its owner's current
+            # register range, so owner interference (or a cross-class
+            # owner, invisible to the class-split graph) blocks sharing
+            for other, oloc in self.ccm_assigned.items():
+                if other is reg:
+                    continue
+                if (other.rclass is not reg.rclass
+                        or graph.interferes(reg, other)):
+                    blocked.append((oloc.offset, oloc.size))
         offset = 0
         blocked.sort()
         for start, bsize in blocked:
@@ -223,7 +239,20 @@ class IntegratedCcmAllocator(ChaitinBriggsAllocator):
         super()._insert_spill_code(spills, graph)
 
 
-def allocate_function_integrated(fn: Function, machine: MachineConfig):
+def allocate_function_integrated(fn: Function, machine: MachineConfig,
+                                 engine: Optional[str] = None):
     """Allocate ``fn`` with integrated CCM spilling; returns the
-    :class:`~repro.regalloc.chaitin_briggs.AllocationResult`."""
-    return IntegratedCcmAllocator(fn, machine).run()
+    :class:`~repro.regalloc.chaitin_briggs.AllocationResult`.
+
+    ``engine`` selects the allocator backend (default: the process-wide
+    ``REPRO_REGALLOC_ENGINE``); the SSA backend plugs the same CCM slot
+    provider and graph hook into its own spill machinery."""
+    from ..regalloc.engine import regalloc_engine, spill_mode_for
+    engine = engine or regalloc_engine()
+    if engine == "chaitin":
+        return IntegratedCcmAllocator(fn, machine).run()
+    from ..regalloc.ssa import SsaAllocator
+    return SsaAllocator(fn, machine,
+                        slot_provider=IntegratedCcmSlotProvider(fn, machine),
+                        graph_hook=CcmGraphHook(),
+                        spill_mode=spill_mode_for(engine)).run()

@@ -73,7 +73,8 @@ class PromotionReport:
 
 def promote_function(fn: Function, ccm_bytes: int,
                      callee_high_water: Optional[Dict[str, int]] = None,
-                     block_profile: Optional[Dict[str, int]] = None
+                     block_profile: Optional[Dict[str, int]] = None,
+                     manager: Optional[AnalysisManager] = None
                      ) -> FunctionPromotion:
     """Promote one function's spill webs into a CCM of ``ccm_bytes``.
 
@@ -81,11 +82,15 @@ def promote_function(fn: Function, ccm_bytes: int,
     selects the intraprocedural rule (nothing live across calls is
     promoted).  ``block_profile`` switches web costs from the static
     loop-depth estimate to measured block execution counts
-    (profile-guided promotion).
+    (profile-guided promotion).  ``manager``, if given, is the caller's
+    shared analysis cache — promotion rewrites spill instructions in
+    place, so it invalidates the instruction-level analyses before
+    returning (a later allocator round on the same manager must not see
+    pre-promotion liveness or spill webs).
     """
     with trace_span("ccm.promote", fn=fn.name):
         result = _promote_function(fn, ccm_bytes, callee_high_water,
-                                   block_profile)
+                                   block_profile, manager)
     trace_counter("ccm.webs", result.n_webs)
     trace_counter("ccm.promoted", len(result.promoted))
     trace_counter("ccm.heavyweight", len(result.heavyweight))
@@ -99,10 +104,11 @@ def promote_function(fn: Function, ccm_bytes: int,
 
 def _promote_function(fn: Function, ccm_bytes: int,
                       callee_high_water: Optional[Dict[str, int]] = None,
-                      block_profile: Optional[Dict[str, int]] = None
+                      block_profile: Optional[Dict[str, int]] = None,
+                      manager: Optional[AnalysisManager] = None
                       ) -> FunctionPromotion:
     result = FunctionPromotion(fn.name)
-    manager = AnalysisManager(fn)
+    manager = manager or AnalysisManager(fn)
     webs = find_spill_webs(fn, manager=manager)
     result.n_webs = len(webs)
     if not webs:
@@ -150,6 +156,10 @@ def _promote_function(fn: Function, ccm_bytes: int,
     result.offsets = placement
 
     _rewrite_promoted(fn, result)
+    if result.promoted:
+        # the in-place opcode/imm rewrite changed the instructions a
+        # shared manager's liveness and web analyses were computed from
+        manager.invalidate(cfg=False)
     result.high_water = result.ccm_bytes_used
     return result
 
@@ -176,19 +186,23 @@ def promote_spills_postpass(program: Program, machine: MachineConfig,
     """
     report = PromotionReport(interprocedural, machine.ccm_bytes)
 
-    def finish(fn: Function) -> None:
+    def finish(fn: Function, manager: AnalysisManager) -> None:
         if compact_heavyweights:
             from .compaction import compact_spill_memory
 
-            compact_spill_memory(fn)
+            # safe to share the manager: promotion invalidated the
+            # instruction-level analyses after its in-place rewrite
+            compact_spill_memory(fn, manager=manager)
 
     if not interprocedural:
         for name, fn in program.functions.items():
+            manager = AnalysisManager(fn)
             promotion = promote_function(fn, machine.ccm_bytes,
-                                         callee_high_water=None)
+                                         callee_high_water=None,
+                                         manager=manager)
             fn.ccm_high_water = promotion.high_water
             report.functions[name] = promotion
-            finish(fn)
+            finish(fn, manager)
         return report
 
     graph = CallGraph(program)
@@ -196,8 +210,10 @@ def promote_spills_postpass(program: Program, machine: MachineConfig,
     high_water: Dict[str, int] = {}
     for name in graph.bottom_up_order():
         fn = program.functions[name]
+        manager = AnalysisManager(fn)
         promotion = promote_function(fn, machine.ccm_bytes,
-                                     callee_high_water=high_water)
+                                     callee_high_water=high_water,
+                                     manager=manager)
         promotion.recursive = name in recursive
         report.functions[name] = promotion
         own = promotion.high_water
@@ -209,7 +225,7 @@ def promote_spills_postpass(program: Program, machine: MachineConfig,
         else:
             high_water[name] = max(own, nested)
         fn.ccm_high_water = high_water[name]
-        finish(fn)
+        finish(fn, manager)
     return report
 
 

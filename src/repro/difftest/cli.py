@@ -24,6 +24,7 @@ from typing import List, Optional
 from ..analysis import set_liveness_engine
 from ..exec import ArtifactCache, SweepStats, default_cache_dir, default_jobs
 from ..machine import set_sim_engine
+from ..regalloc import set_regalloc_engine
 from ..trace import TraceRecorder, format_summary, write_chrome_trace
 from .corpus import save_corpus_entry
 from .gen import generate_source
@@ -44,6 +45,28 @@ def _parse_ccm_sizes(text: str) -> List[int]:
     if not sizes:
         raise argparse.ArgumentTypeError("need at least one CCM size")
     return sizes
+
+
+_ALLOCATORS = ("chaitin", "ssa", "ssa-everywhere")
+
+
+def _parse_allocators(text: str) -> List[Optional[str]]:
+    names: List[Optional[str]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if part == "":
+            continue
+        if part == "default":
+            names.append(None)  # follow REPRO_REGALLOC_ENGINE
+        elif part in _ALLOCATORS:
+            names.append(part)
+        else:
+            raise argparse.ArgumentTypeError(
+                f"unknown allocator {part!r} (choose from "
+                f"{', '.join(_ALLOCATORS)} or 'default')")
+    if not names:
+        raise argparse.ArgumentTypeError("need at least one allocator")
+    return names
 
 
 def build_parser(parser: Optional[argparse.ArgumentParser] = None
@@ -70,6 +93,20 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None
                         default="small",
                         help="register-file geometry: 'small' (8+8 regs, "
                              "heavy spilling; default) or 'paper' (64 regs)")
+    parser.add_argument("--allocators", type=_parse_allocators,
+                        default=[None], metavar="NAME,...",
+                        help="register-allocator axis of the lattice: "
+                             "comma-separated subset of chaitin, ssa, "
+                             "ssa-everywhere, or 'default' (follow "
+                             "REPRO_REGALLOC_ENGINE; the default). "
+                             "'chaitin,ssa' doubles the lattice to "
+                             "cross-check the two backends.")
+    parser.add_argument("--regalloc-engine",
+                        choices=_ALLOCATORS, default=None,
+                        help="process-wide register-allocator backend "
+                             "(what 'default' in --allocators resolves "
+                             "to). Exported to worker processes via "
+                             "REPRO_REGALLOC_ENGINE.")
     parser.add_argument("--liveness-engine", choices=("bitset", "sets"),
                         default=None,
                         help="dataflow engine for liveness/interference: "
@@ -138,7 +175,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.sim_engine is not None:
         os.environ["REPRO_SIM_ENGINE"] = args.sim_engine
         set_sim_engine(args.sim_engine)
-    configs = config_lattice(tuple(args.ccm), geometry=args.machine)
+    if args.regalloc_engine is not None:
+        os.environ["REPRO_REGALLOC_ENGINE"] = args.regalloc_engine
+        set_regalloc_engine(args.regalloc_engine)
+    configs = config_lattice(tuple(args.ccm), geometry=args.machine,
+                             allocators=tuple(args.allocators))
 
     artifacts = (None if args.no_cache
                  else ArtifactCache(args.cache_dir or default_cache_dir()))

@@ -75,10 +75,19 @@ class DiffConfig:
     compaction: bool
     ccm_bytes: int
     geometry: str = "small"   # register-file geometry, see GEOMETRIES
+    #: register-allocator backend ("chaitin", "ssa", "ssa-everywhere");
+    #: None follows the process-wide REPRO_REGALLOC_ENGINE, so existing
+    #: lattices run whole-hog under either backend via the env var
+    allocator: Optional[str] = None
 
     @property
     def name(self) -> str:
         suffix = "" if self.geometry == "small" else f"@{self.geometry}"
+        # the explicit default backend keeps historical names (and so
+        # artifact-cache keys) unchanged; env-var-driven runs are
+        # disambiguated by the cache's code-version suffix instead
+        if self.allocator not in (None, "chaitin"):
+            suffix += f"|{self.allocator}"
         return (f"{self.variant}"
                 f"{'+opt' if self.optimize else ''}"
                 f"{'+compact' if self.compaction else ''}"
@@ -86,19 +95,27 @@ class DiffConfig:
 
 
 def config_lattice(ccm_sizes: Sequence[int] = DEFAULT_CCM_SIZES,
-                   geometry: str = "small") -> List[DiffConfig]:
+                   geometry: str = "small",
+                   allocators: Sequence[Optional[str]] = (None,)
+                   ) -> List[DiffConfig]:
     """The full lattice.  Baseline code never touches the CCM, so its
     compiled form is independent of the CCM size; it appears once per
-    (opt, compaction) pair instead of once per CCM size."""
+    (opt, compaction) pair instead of once per CCM size.  ``allocators``
+    adds the register-allocator axis (the default single ``None`` entry
+    follows the process-wide engine, keeping the historical 52-config
+    lattice)."""
     configs: List[DiffConfig] = []
-    for optimize in (True, False):
-        for compaction in (False, True):
-            configs.append(DiffConfig("baseline", optimize, compaction,
-                                      max(ccm_sizes), geometry))
-            for variant in ("postpass", "postpass_cg", "integrated"):
-                for ccm in ccm_sizes:
-                    configs.append(DiffConfig(variant, optimize, compaction,
-                                              ccm, geometry))
+    for allocator in allocators:
+        for optimize in (True, False):
+            for compaction in (False, True):
+                configs.append(DiffConfig("baseline", optimize, compaction,
+                                          max(ccm_sizes), geometry,
+                                          allocator))
+                for variant in ("postpass", "postpass_cg", "integrated"):
+                    for ccm in ccm_sizes:
+                        configs.append(DiffConfig(variant, optimize,
+                                                  compaction, ccm, geometry,
+                                                  allocator))
     return configs
 
 
@@ -204,28 +221,29 @@ class _StageCache:
             self._lowered[key] = prog
         return self._lowered[key]
 
-    def allocated(self, optimize: bool, geometry: str) -> Program:
+    def allocated(self, optimize: bool, geometry: str,
+                  allocator: Optional[str] = None) -> Program:
         """Baseline (stack-spilling) allocation of the lowered program."""
-        key = (optimize, geometry)
+        key = (optimize, geometry, allocator)
         if key not in self._allocated:
             prog = self.lowered(optimize, geometry).clone()
             machine = MachineConfig(**GEOMETRIES[geometry])
             for fn in prog.functions.values():
-                allocate_function(fn, machine)
+                allocate_function(fn, machine, engine=allocator)
             self._allocated[key] = prog
         return self._allocated[key]
 
-    def integrated(self, optimize: bool, geometry: str,
-                   ccm_bytes: int) -> Program:
+    def integrated(self, optimize: bool, geometry: str, ccm_bytes: int,
+                   allocator: Optional[str] = None) -> Program:
         """Integrated allocation — depends on the CCM size but not on
         compaction, which runs after allocation."""
-        key = (optimize, geometry, ccm_bytes)
+        key = (optimize, geometry, ccm_bytes, allocator)
         if key not in self._integrated:
             prog = self.lowered(optimize, geometry).clone()
             machine = MachineConfig(ccm_bytes=ccm_bytes,
                                     **GEOMETRIES[geometry])
             for fn in prog.functions.values():
-                allocate_function_integrated(fn, machine)
+                allocate_function_integrated(fn, machine, engine=allocator)
             self._integrated[key] = prog
         return self._integrated[key]
 
@@ -236,12 +254,14 @@ def finalize_config(stages: _StageCache,
     machine = _machine_for(config)
     if config.variant == "integrated":
         program = stages.integrated(config.optimize, config.geometry,
-                                    config.ccm_bytes).clone()
+                                    config.ccm_bytes,
+                                    config.allocator).clone()
         if config.compaction:
             for fn in program.functions.values():
                 compact_spill_memory(fn)
     else:
-        program = stages.allocated(config.optimize, config.geometry).clone()
+        program = stages.allocated(config.optimize, config.geometry,
+                                   config.allocator).clone()
         if config.variant == "postpass":
             promote_spills_postpass(program, machine, interprocedural=False,
                                     compact_heavyweights=config.compaction)
@@ -387,9 +407,9 @@ def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
         result.skipped = f"reference machine error: {exc}"
         return _record(artifacts, key, result)
 
-    # dynamic stack-spill traffic of the baseline per opt setting, for
-    # the post-pass conservation invariant
-    baseline_spill: Dict[bool, int] = {}
+    # dynamic stack-spill traffic of the baseline per (opt, allocator)
+    # setting, for the post-pass conservation invariant
+    baseline_spill: Dict[tuple, int] = {}
     stages = _StageCache(base)
 
     for config in configs:
@@ -425,7 +445,7 @@ def _record(artifacts: Optional[ArtifactCache], key: Optional[str],
 
 
 def _check_one(stages: _StageCache, config: DiffConfig, reference: Outcome,
-               baseline_spill: Dict[bool, int],
+               baseline_spill: Dict[tuple, int],
                fault: FaultFn = None,
                clock: Optional[StageClock] = None) -> Optional[Divergence]:
     try:
@@ -470,12 +490,12 @@ def _check_one(stages: _StageCache, config: DiffConfig, reference: Outcome,
     if outcome.stats is not None:
         if config.variant == "baseline" and not config.compaction \
                 and fault is None:
-            baseline_spill.setdefault(config.optimize,
+            baseline_spill.setdefault((config.optimize, config.allocator),
                                       outcome.stats.spill_traffic)
         problems = _check_invariants(
             config, outcome.stats,
             None if fault is not None else
-            baseline_spill.get(config.optimize))
+            baseline_spill.get((config.optimize, config.allocator)))
         if problems:
             return Divergence(None, config.name, "invariant",
                               "; ".join(problems))

@@ -107,6 +107,13 @@ class ArtifactCache:
             engine = sim_engine()
             if engine != "predecode":
                 version = f"{version}+sim-{engine}"
+            # the register-allocator backends produce *different* (but
+            # behaviorally equivalent) code, so their artifacts may
+            # never share a cache entry
+            from ..regalloc import regalloc_engine
+            engine = regalloc_engine()
+            if engine != "chaitin":
+                version = f"{version}+regalloc-{engine}"
         self.version = version
         self.hits = 0
         self.misses = 0

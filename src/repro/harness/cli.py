@@ -64,6 +64,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(closure-compiled; default) or 'interp' "
                              "(the reference oracle). Exported to worker "
                              "processes via REPRO_SIM_ENGINE.")
+    parser.add_argument("--regalloc-engine",
+                        choices=("chaitin", "ssa", "ssa-everywhere"),
+                        default=None,
+                        help="register-allocator backend: 'chaitin' "
+                             "(Chaitin-Briggs; default), 'ssa' (SSA-form "
+                             "spilling with load/store range splitting) "
+                             "or 'ssa-everywhere' (SSA spill-everywhere). "
+                             "Exported to worker processes via "
+                             "REPRO_REGALLOC_ENGINE.")
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: all cores; "
                              "-j 1 is the deterministic serial path)")
@@ -94,6 +103,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..machine import set_sim_engine
         os.environ["REPRO_SIM_ENGINE"] = args.sim_engine
         set_sim_engine(args.sim_engine)
+
+    if args.regalloc_engine is not None:
+        import os
+
+        from ..regalloc import set_regalloc_engine
+        os.environ["REPRO_REGALLOC_ENGINE"] = args.regalloc_engine
+        set_regalloc_engine(args.regalloc_engine)
 
     workloads = _routine_list(args.routines)
     jobs = args.jobs if args.jobs is not None else default_jobs()

@@ -52,7 +52,7 @@ from ..ir import Opcode, PhysReg, RegClass, VirtualReg
 from ..trace import current as _trace_current
 from .simulator import (POISON, STACK_BASE, OutOfFuel, RunResult, RunStats,
                         SimulationError, _FLOAT_BINOPS, _INT_BINOPS,
-                        _INT_IMMOPS)
+                        _INT_IMMOPS, fmt_addr)
 
 __all__ = ["decode_function", "run_predecode", "DecodedFunction"]
 
@@ -462,7 +462,7 @@ class _Decoder:
                     if addr not in mem:
                         raise SimulationError(
                             f"{frame.dfn.name}: load from unmapped "
-                            f"address {addr:#x}")
+                            f"address {fmt_addr(addr)}")
                     files[fd][xd] = mem[addr]
                     eng.loads += 1
                 return core
@@ -479,7 +479,7 @@ class _Decoder:
                 if addr not in mem:
                     raise SimulationError(
                         f"{frame.dfn.name}: load from unmapped "
-                        f"address {addr:#x}")
+                        f"address {fmt_addr(addr)}")
                 files[fd][xd] = mem[addr]
                 eng.loads += 1
             return core
@@ -493,7 +493,7 @@ class _Decoder:
                 if addr not in mem:
                     raise SimulationError(
                         f"{frame.dfn.name}: load from unmapped "
-                        f"address {addr:#x}")
+                        f"address {fmt_addr(addr)}")
                 frame.files[fd][xd] = mem[addr]
                 eng.spill_loads += 1
                 eng.loads += 1
@@ -506,7 +506,7 @@ class _Decoder:
             if addr not in mem:
                 raise SimulationError(
                     f"{frame.dfn.name}: load from unmapped "
-                    f"address {addr:#x}")
+                    f"address {fmt_addr(addr)}")
             frame.files[fd][xd] = mem[addr]
             eng.spill_loads += 1
             eng.loads += 1

@@ -63,6 +63,12 @@ def set_sim_engine(name: str) -> None:
     _sim_engine = name
 
 
+def fmt_addr(addr) -> str:
+    """Hex for int addresses; repr otherwise (a non-int address is
+    itself evidence of a miscompile and must still trap cleanly)."""
+    return f"{addr:#x}" if isinstance(addr, int) else repr(addr)
+
+
 class SimulationError(RuntimeError):
     """The program performed an illegal operation (bad address, use of an
     undefined or poisoned register, CCM overflow, ...).
@@ -337,7 +343,8 @@ class Simulator:
     def _load_mem(self, addr: int, frame: _Frame) -> object:
         if addr not in self.memory:
             raise SimulationError(
-                f"{frame.fn.name}: load from unmapped address {addr:#x}")
+                f"{frame.fn.name}: load from unmapped address "
+                f"{fmt_addr(addr)}")
         return self.memory[addr]
 
     def _execute(self, instr: Instruction, frame: _Frame,

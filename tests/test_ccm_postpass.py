@@ -4,7 +4,9 @@ import pytest
 
 from conftest import assert_close, compile_mfl, simulate
 
-from repro.ccm import promote_function, promote_spills_postpass
+from repro.analysis import AnalysisManager
+from repro.ccm import (compact_spill_memory, promote_function,
+                       promote_spills_postpass)
 from repro.frontend import compile_source
 from repro.ir import (CCM_OPS, Opcode, SPILL_OPS, parse_function,
                       parse_program, verify_program)
@@ -230,3 +232,60 @@ entry:
         assert report.functions["rec"].promoted == []
         verify_program(prog)
         assert simulate(prog).value == expected
+
+
+class TestSharedManagerInvalidation:
+    """Promotion and compaction rewrite instructions in place; a shared
+    AnalysisManager must drop its cached facts or a later allocator
+    round reasons about code that no longer exists (the regression here
+    was allocate -> promote -> re-allocate reusing pre-promotion
+    liveness)."""
+
+    def test_promotion_invalidates_cached_liveness(self):
+        prog = _compiled_with_spills()
+        fn = prog.entry
+        manager = AnalysisManager(fn)
+        stale = manager.liveness()
+        promotion = promote_function(fn, ccm_bytes=512, manager=manager)
+        assert promotion.promoted
+        assert manager.liveness() is not stale
+
+    def test_no_promotion_keeps_cache(self):
+        prog = _compiled_with_spills()
+        fn = prog.entry
+        manager = AnalysisManager(fn)
+        cached = manager.liveness()
+        promotion = promote_function(fn, ccm_bytes=0, manager=manager)
+        assert not promotion.promoted
+        assert manager.liveness() is cached
+
+    def test_compaction_invalidates_cached_liveness(self):
+        prog = _compiled_with_spills()
+        fn = prog.entry
+        promote_function(fn, ccm_bytes=64)
+        manager = AnalysisManager(fn)
+        stale = manager.liveness()
+        result = compact_spill_memory(fn, manager=manager)
+        if result.bytes_after < result.bytes_before:
+            assert manager.liveness() is not stale
+
+    @pytest.mark.parametrize("engine", ["chaitin", "ssa"])
+    def test_allocate_promote_reallocate_chain(self, engine):
+        """The full shared-manager pipeline: allocate, promote, compact,
+        each stage reusing ONE manager, must still produce a correct
+        program under both allocator backends."""
+        expected = simulate(compile_source(_pressure_source())).value
+        prog = compile_source(_pressure_source())
+        optimize_program(prog)
+        machine = PAPER_MACHINE_512
+        for fn in prog.functions.values():
+            lower_calling_convention(fn, machine)
+            manager = AnalysisManager(fn)
+            allocate_function(fn, machine, manager=manager, engine=engine)
+            promote_function(fn, ccm_bytes=machine.ccm_bytes,
+                             manager=manager)
+            compact_spill_memory(fn, manager=manager)
+        verify_program(prog)
+        run = simulate(prog)
+        assert_close(run.value, expected)
+        assert run.stats.ccm_traffic > 0

@@ -3,10 +3,13 @@ plus a replay of the persistent corpus.
 
 This is the acceptance gate for the whole pipeline: every lattice point
 (opt on/off x {baseline, postpass, postpass_cg, integrated} x compaction
-on/off x CCM sizes {0, 64, 512, 1024}) must behave identically to the
-unoptimized, unallocated reference on every seed.  Deeper sweeps carry
-the ``fuzz`` marker and are deselected by default; run them with
-``pytest -m fuzz`` or ``python -m repro difftest --profile nightly``.
+on/off x CCM sizes {0, 64, 512, 1024}, and the register-allocator axis
+{chaitin, ssa, ssa-everywhere} on a reduced CCM axis) must behave
+identically to the unoptimized, unallocated reference on every seed.
+Deeper sweeps carry the ``fuzz`` marker and are deselected by default;
+run them with ``pytest -m fuzz`` or ``python -m repro difftest
+--profile nightly`` (add ``--allocators chaitin,ssa`` for the full
+allocator cross-product).
 """
 
 import pytest
@@ -15,6 +18,16 @@ from repro.difftest import check_seed, check_source, config_lattice, iter_corpus
 
 CONFIGS = config_lattice()
 SMOKE_SEEDS = list(range(25))
+
+#: The register-allocator axis.  Tier 1 runs the SSA backend over a
+#: reduced CCM axis (no CCM, and the paper's 512 bytes) — the scheme
+#: x compaction x optimization cross is what interacts with allocation;
+#: intermediate CCM sizes add little and the nightly sweep has them all.
+SSA_CONFIGS = config_lattice(ccm_sizes=(0, 512), allocators=("ssa",))
+SSA_EVERYWHERE_CONFIGS = config_lattice(ccm_sizes=(0, 512),
+                                        allocators=("ssa-everywhere",))
+#: chaitin + ssa cross-product over the full CCM axis, for the nightly
+FULL_ALLOCATOR_CONFIGS = config_lattice(allocators=("chaitin", "ssa"))
 
 # batches keep pytest overhead low while pinpointing the failing seed
 _BATCH = 5
@@ -34,6 +47,24 @@ def _assert_clean(result, what):
 def test_smoke_seeds_agree_across_lattice(seeds):
     for seed in seeds:
         _assert_clean(check_seed(seed, CONFIGS), f"seed {seed}")
+
+
+@pytest.mark.parametrize("seeds", _BATCHES,
+                         ids=[f"seeds{b[0]}-{b[-1]}" for b in _BATCHES])
+def test_smoke_seeds_agree_under_ssa_allocator(seeds):
+    """The allocator dimension of the lattice: the SSA backend must
+    match the same unallocated reference on every scheme."""
+    for seed in seeds:
+        _assert_clean(check_seed(seed, SSA_CONFIGS), f"seed {seed} (ssa)")
+
+
+def test_smoke_seeds_agree_under_ssa_everywhere():
+    """Spill-everywhere variant, one batch: the two SSA modes share the
+    coloring and out-of-SSA stages, so a shorter range suffices here and
+    the nightly sweep covers the rest."""
+    for seed in SMOKE_SEEDS[:5]:
+        _assert_clean(check_seed(seed, SSA_EVERYWHERE_CONFIGS),
+                      f"seed {seed} (ssa-everywhere)")
 
 
 _CORPUS = list(iter_corpus())
@@ -63,3 +94,13 @@ def test_fuzz_deeper_sweep():
     report = run_fuzz(range(25, 225), CONFIGS)
     assert not report.divergences, report.format_json()
     assert report.seeds_skipped <= 4    # generator quality guard
+
+
+@pytest.mark.fuzz
+def test_fuzz_allocator_cross_product():
+    """The full chaitin x ssa lattice (104 configs): any divergence
+    between the backends on any scheme is an allocator bug."""
+    from repro.difftest import run_fuzz
+    report = run_fuzz(range(0, 100), FULL_ALLOCATOR_CONFIGS)
+    assert not report.divergences, report.format_json()
+    assert report.seeds_skipped <= 2
