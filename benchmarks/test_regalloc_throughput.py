@@ -3,11 +3,19 @@
 Times full register allocation per backend on fpppp and twldrv — the
 suite's two largest routines, where the difference between Chaitin's
 iterate-until-colorable loop and the SSA backend's
-spill-then-color-once pipeline is most visible.  Capture a
-machine-readable snapshot with::
+spill-then-color-once pipeline is most visible.  Each timing record
+also carries the *static spill/reload op count* of the code the backend
+produced (``extra_info`` in the JSON snapshot), so a speed win that
+merely trades allocation time for spill code is visible in the same
+report.  Capture a machine-readable snapshot with::
 
     pytest benchmarks/test_regalloc_throughput.py \
         --benchmark-json=BENCH_throughput.json
+
+``TestSpillQualityGate`` is the CI smoke threshold: the SSA backends
+must stay within ``SPILL_OP_RATIO_LIMIT`` of Chaitin-Briggs' static
+spill-op count on both routines.  It needs no benchmark fixture and
+fails fast if the spiller's cost model regresses.
 """
 
 import copy
@@ -15,12 +23,19 @@ import copy
 import pytest
 
 from repro.frontend import compile_source
+from repro.ir import CCM_OPS, SPILL_OPS
 from repro.machine import PAPER_MACHINE_512
 from repro.opt import optimize_program
 from repro.regalloc import allocate_function, lower_calling_convention
 from repro.workloads import routine_source
 
 ENGINES = ("chaitin", "ssa", "ssa-everywhere")
+ROUTINES = ("fpppp", "twldrv")
+
+#: ceiling on (ssa spill ops) / (chaitin spill ops); before the
+#: cost-guided spiller (next-use tie-breaking, rematerialization, store
+#: elision, loop-invariant reload hoisting) the ratio was ~2.4
+SPILL_OP_RATIO_LIMIT = 1.3
 
 
 def _lowered_program(name):
@@ -32,7 +47,22 @@ def _lowered_program(name):
     return prog
 
 
-@pytest.mark.parametrize("routine", ["fpppp", "twldrv"])
+def _count_spill_ops(prog) -> int:
+    """Static spill/reload instructions (stack and CCM) in ``prog``."""
+    return sum(1 for fn in prog.functions.values()
+               for block in fn.blocks
+               for instr in block.instructions
+               if instr.opcode in SPILL_OPS or instr.opcode in CCM_OPS)
+
+
+def _allocated_spill_ops(routine: str, engine: str) -> int:
+    prog = _lowered_program(routine)
+    for fn in prog.functions.values():
+        allocate_function(fn, PAPER_MACHINE_512, engine=engine)
+    return _count_spill_ops(prog)
+
+
+@pytest.mark.parametrize("routine", ROUTINES)
 @pytest.mark.parametrize("engine", ENGINES)
 def test_allocation_speed_by_engine(benchmark, routine, engine):
     # allocation mutates the function: hand each round a fresh copy
@@ -43,8 +73,28 @@ def test_allocation_speed_by_engine(benchmark, routine, engine):
 
     def allocate_all():
         prog = next(it)
-        return [allocate_function(fn, PAPER_MACHINE_512, engine=engine)
-                for fn in prog.functions.values()]
+        results = [allocate_function(fn, PAPER_MACHINE_512, engine=engine)
+                   for fn in prog.functions.values()]
+        allocate_all.last_prog = prog
+        return results
 
     results = benchmark.pedantic(allocate_all, rounds=rounds, iterations=1)
     assert all(r.assignment is not None for r in results)
+    benchmark.extra_info["spill_ops"] = _count_spill_ops(
+        allocate_all.last_prog)
+
+
+class TestSpillQualityGate:
+    """CI smoke gate: SSA spill quality must stay near Chaitin-Briggs."""
+
+    @pytest.mark.parametrize("routine", ROUTINES)
+    def test_ssa_spill_ops_within_ratio(self, routine):
+        baseline = _allocated_spill_ops(routine, "chaitin")
+        assert baseline > 0, f"{routine}: chaitin emitted no spill code"
+        for engine in ("ssa", "ssa-everywhere"):
+            ops = _allocated_spill_ops(routine, engine)
+            ratio = ops / baseline
+            assert ratio <= SPILL_OP_RATIO_LIMIT, (
+                f"{routine}: {engine} emits {ops} static spill/reload "
+                f"ops vs chaitin's {baseline} "
+                f"({ratio:.2f}x > {SPILL_OP_RATIO_LIMIT}x)")

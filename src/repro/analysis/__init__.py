@@ -12,6 +12,8 @@ from .liveness import (LivenessInfo, compute_liveness, liveness_engine,
                        set_liveness_engine, values_live_across_calls)
 from .loops import Loop, LoopInfo
 from .manager import AnalysisManager
+from .nextuse import (INFINITE_DISTANCE, LOOP_EXIT_PENALTY,
+                      compute_next_use_out)
 from .ssa import build_ssa, destroy_ssa, is_ssa
 
 __all__ = [
@@ -20,6 +22,7 @@ __all__ = [
     "DominatorTree", "LivenessInfo", "compute_liveness",
     "compute_liveness_masks", "iter_bits", "liveness_engine",
     "set_liveness_engine", "values_live_across_calls", "Loop", "LoopInfo",
+    "INFINITE_DISTANCE", "LOOP_EXIT_PENALTY", "compute_next_use_out",
     "build_ssa", "destroy_ssa", "is_ssa",
     "adjacency_of", "find_perfect_elimination_order", "is_chordal",
     "is_perfect_elimination_order", "max_clique_size",

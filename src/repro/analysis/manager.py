@@ -32,6 +32,7 @@ from .cfg import CFG
 from .dominators import DominatorTree
 from .liveness import LivenessInfo, compute_liveness
 from .loops import LoopInfo
+from .nextuse import compute_next_use_out
 
 
 class AnalysisManager:
@@ -45,7 +46,7 @@ class AnalysisManager:
     """
 
     __slots__ = ("fn", "_cfg", "_dom", "_loops", "_liveness", "_index",
-                 "_dom_preorder")
+                 "_dom_preorder", "_next_use")
 
     def __init__(self, fn: Function):
         self.fn = fn
@@ -55,6 +56,7 @@ class AnalysisManager:
         self._liveness: Optional[LivenessInfo] = None
         self._index: Optional[DenseIndex] = None
         self._dom_preorder: Optional[list] = None
+        self._next_use: Optional[dict] = None
 
     # -- queries -------------------------------------------------------------
 
@@ -109,6 +111,17 @@ class AnalysisManager:
             trace_counter("analysis.cache_hit")
         return self._liveness
 
+    def next_use(self) -> dict:
+        """Cross-block next-use distances keyed by dense register id —
+        the spill-candidate ranking input of the SSA pressure scan."""
+        if self._next_use is None:
+            trace_counter("analysis.cache_miss")
+            self._next_use = compute_next_use_out(
+                self.fn, self.cfg(), self.dense_index(), self.loops())
+        else:
+            trace_counter("analysis.cache_hit")
+        return self._next_use
+
     # -- invalidation --------------------------------------------------------
 
     def invalidate(self, cfg: bool = True) -> None:
@@ -123,6 +136,7 @@ class AnalysisManager:
                       else "analysis.invalidate_instr")
         self._liveness = None
         self._index = None
+        self._next_use = None
         if cfg:
             self._cfg = None
             self._dom = None

@@ -1,0 +1,108 @@
+"""Global next-use distances over the dense register numbering.
+
+Braun & Hack's SSA spiller ranks same-cost spill candidates by
+*furthest next use*: evicting the value the program will not touch for
+the longest time delays (and often avoids) its reload.  The SSA
+allocator's pressure scan keeps exact in-block distances itself while
+walking a block; this module supplies the cross-block tail it cannot
+see — for every block, the distance in instructions from the block's
+*end* to the nearest next use of each register along any successor
+path.
+
+Two conventions shape the numbers:
+
+* a phi reads its sources at the end of the predecessor, so a phi
+  source counts as a use at distance 0 on the edge out of that
+  predecessor (the spiller must have the value in a register there
+  regardless of how far the phi's block is);
+* an edge that exits a loop adds ``LOOP_EXIT_PENALTY`` per nesting
+  level left, so a value whose only remaining uses are after the loop
+  ranks as "far" at every point inside it — the distance analog of the
+  ``10 ** depth`` spill-cost frequency model.
+
+The fixpoint is a min-distance backward dataflow (Bellman-Ford shape:
+entries only ever decrease, bounded below by 0), over plain dicts keyed
+by :class:`DenseIndex` ids so the pressure scan can mix these with its
+liveness masks without translation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from ..ir import Function
+from .bitset import DenseIndex
+from .cfg import CFG
+from .loops import LoopInfo
+
+#: effectively infinite while staying in int arithmetic
+INFINITE_DISTANCE = 1 << 30
+
+#: extra distance per loop level an edge exits
+LOOP_EXIT_PENALTY = 1000
+
+
+def compute_next_use_out(fn: Function, cfg: CFG, index: DenseIndex,
+                         loops: Optional[LoopInfo] = None
+                         ) -> Dict[str, Dict[int, int]]:
+    """``{block label: {dense reg id: distance}}`` from each block's end
+    to the register's nearest next use; registers never used again are
+    simply absent (treat as :data:`INFINITE_DISTANCE`)."""
+    ids = index.ids
+    local: Dict[str, Dict[int, int]] = {}
+    length: Dict[str, int] = {}
+    # phi reads, attributed to the incoming edge: succ -> pred -> {ids}
+    phi_reads: Dict[str, Dict[str, set]] = {}
+    for block in fn.blocks:
+        first: Dict[int, int] = {}
+        for pos, instr in enumerate(block.instructions):
+            if instr.is_phi:
+                reads = phi_reads.setdefault(block.label, {})
+                for src, pred in zip(instr.srcs, instr.phi_labels):
+                    j = ids.get(src)
+                    if j is not None:
+                        reads.setdefault(pred, set()).add(j)
+                continue
+            for s in instr.srcs:
+                j = ids.get(s)
+                if j is not None and j not in first:
+                    first[j] = pos
+        local[block.label] = first
+        length[block.label] = len(block.instructions)
+
+    depth = loops.block_depth if loops is not None else (lambda _label: 0)
+    nu_in: Dict[str, Dict[int, int]] = {
+        label: dict(first) for label, first in local.items()}
+
+    def out_of(label: str) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        d_here = depth(label)
+        for succ in cfg.succs[label]:
+            penalty = LOOP_EXIT_PENALTY * max(0, d_here - depth(succ))
+            for j in phi_reads.get(succ, {}).get(label, ()):
+                if out.get(j, INFINITE_DISTANCE) > 0:
+                    out[j] = 0
+            for j, d in nu_in.get(succ, {}).items():
+                nd = min(d + penalty, INFINITE_DISTANCE)
+                if nd < out.get(j, INFINITE_DISTANCE):
+                    out[j] = nd
+        return out
+
+    work = deque(reversed([b.label for b in fn.blocks]))
+    queued = set(work)
+    while work:
+        label = work.popleft()
+        queued.discard(label)
+        new_in = dict(local[label])
+        n = length[label]
+        for j, d in out_of(label).items():
+            if j not in new_in:
+                new_in[j] = min(n + d, INFINITE_DISTANCE)
+        if new_in != nu_in[label]:
+            nu_in[label] = new_in
+            for pred in cfg.preds[label]:
+                if pred not in queued:
+                    queued.add(pred)
+                    work.append(pred)
+    return {b.label: out_of(b.label) for b in fn.blocks}

@@ -170,6 +170,12 @@ class IntegratedCcmSlotProvider(StackSlotProvider):
         #: re-spill round.  Block the offsets of every owner that might
         #: still overlap instead of trusting the store->load spans.
         self.conservative_owners = False
+        #: reload temp -> owning spilled value (the SSA allocator's
+        #: ``_temp_origin``, shared by reference).  Demoting a reused or
+        #: hoisted temp re-extends its owner's location span across the
+        #: *temp's* live range, so owner conflicts must be checked
+        #: against the temps too, not just the owner's shrunken range.
+        self.temp_origin: Dict[VirtualReg, VirtualReg] = {}
 
     def begin_round(self, live_across_call: Set) -> None:
         self._round = []
@@ -203,13 +209,20 @@ class IntegratedCcmSlotProvider(StackSlotProvider):
                 blocked.append((off, osize))
         if self.conservative_owners:
             # a location's future span stays within its owner's current
-            # register range, so owner interference (or a cross-class
-            # owner, invisible to the class-split graph) blocks sharing
+            # register range *or* one of its reload temps' ranges (a
+            # demoted temp grows per-use loads of the owner's slot), so
+            # interference with either — or a cross-class owner,
+            # invisible to the class-split graph — blocks sharing
+            temps_of: Dict[VirtualReg, List[VirtualReg]] = {}
+            for temp, owner in self.temp_origin.items():
+                temps_of.setdefault(owner, []).append(temp)
             for other, oloc in self.ccm_assigned.items():
                 if other is reg:
                     continue
                 if (other.rclass is not reg.rclass
-                        or graph.interferes(reg, other)):
+                        or graph.interferes(reg, other)
+                        or any(graph.interferes(reg, t)
+                               for t in temps_of.get(other, ()))):
                     blocked.append((oloc.offset, oloc.size))
         offset = 0
         blocked.sort()
@@ -226,10 +239,12 @@ class IntegratedCcmAllocator(ChaitinBriggsAllocator):
     the emboldened steps implemented by the hook and provider above."""
 
     def __init__(self, fn: Function, machine: MachineConfig,
-                 manager: AnalysisManager = None):
+                 manager: AnalysisManager = None,
+                 rematerialize: bool = True):
         super().__init__(fn, machine,
                          slot_provider=IntegratedCcmSlotProvider(fn, machine),
-                         graph_hook=CcmGraphHook(), manager=manager)
+                         graph_hook=CcmGraphHook(),
+                         rematerialize=rematerialize, manager=manager)
 
     def _insert_spill_code(self, spills, graph) -> None:
         # the cached liveness is current here: nothing mutated the IR
@@ -240,7 +255,8 @@ class IntegratedCcmAllocator(ChaitinBriggsAllocator):
 
 
 def allocate_function_integrated(fn: Function, machine: MachineConfig,
-                                 engine: Optional[str] = None):
+                                 engine: Optional[str] = None,
+                                 rematerialize: bool = True):
     """Allocate ``fn`` with integrated CCM spilling; returns the
     :class:`~repro.regalloc.chaitin_briggs.AllocationResult`.
 
@@ -250,9 +266,11 @@ def allocate_function_integrated(fn: Function, machine: MachineConfig,
     from ..regalloc.engine import regalloc_engine, spill_mode_for
     engine = engine or regalloc_engine()
     if engine == "chaitin":
-        return IntegratedCcmAllocator(fn, machine).run()
+        return IntegratedCcmAllocator(fn, machine,
+                                      rematerialize=rematerialize).run()
     from ..regalloc.ssa import SsaAllocator
     return SsaAllocator(fn, machine,
                         slot_provider=IntegratedCcmSlotProvider(fn, machine),
                         graph_hook=CcmGraphHook(),
+                        rematerialize=rematerialize,
                         spill_mode=spill_mode_for(engine)).run()

@@ -56,14 +56,17 @@ def _parse_allocators(text: str) -> List[Optional[str]]:
         part = part.strip()
         if part == "":
             continue
-        if part == "default":
-            names.append(None)  # follow REPRO_REGALLOC_ENGINE
-        elif part in _ALLOCATORS:
+        base = part[:-len("-noremat")] if part.endswith("-noremat") else part
+        if base == "default":
+            # follow REPRO_REGALLOC_ENGINE (optionally without remat)
+            names.append(None if base == part else "-noremat")
+        elif base in _ALLOCATORS:
             names.append(part)
         else:
             raise argparse.ArgumentTypeError(
                 f"unknown allocator {part!r} (choose from "
-                f"{', '.join(_ALLOCATORS)} or 'default')")
+                f"{', '.join(_ALLOCATORS)} or 'default', each optionally "
+                f"suffixed '-noremat' to disable rematerialization)")
     if not names:
         raise argparse.ArgumentTypeError("need at least one allocator")
     return names

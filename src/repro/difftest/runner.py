@@ -79,6 +79,9 @@ class DiffConfig:
     #: None follows the process-wide REPRO_REGALLOC_ENGINE, so existing
     #: lattices run whole-hog under either backend via the env var
     allocator: Optional[str] = None
+    #: never-killed-constant rematerialization in the allocator; keyed
+    #: into config names (and so artifact-cache keys) when disabled
+    rematerialize: bool = True
 
     @property
     def name(self) -> str:
@@ -88,10 +91,20 @@ class DiffConfig:
         # disambiguated by the cache's code-version suffix instead
         if self.allocator not in (None, "chaitin"):
             suffix += f"|{self.allocator}"
+        if not self.rematerialize:
+            suffix += "|noremat"
         return (f"{self.variant}"
                 f"{'+opt' if self.optimize else ''}"
                 f"{'+compact' if self.compaction else ''}"
                 f"/ccm{self.ccm_bytes}{suffix}")
+
+
+def _split_allocator(token: Optional[str]) -> Tuple[Optional[str], bool]:
+    """An allocator-axis token is a backend name, optionally suffixed
+    ``-noremat`` to disable rematerialization for that lattice slice."""
+    if token is not None and token.endswith("-noremat"):
+        return token[:-len("-noremat")] or None, False
+    return token, True
 
 
 def config_lattice(ccm_sizes: Sequence[int] = DEFAULT_CCM_SIZES,
@@ -103,19 +116,21 @@ def config_lattice(ccm_sizes: Sequence[int] = DEFAULT_CCM_SIZES,
     (opt, compaction) pair instead of once per CCM size.  ``allocators``
     adds the register-allocator axis (the default single ``None`` entry
     follows the process-wide engine, keeping the historical 52-config
-    lattice)."""
+    lattice); a ``-noremat`` suffix on a backend name runs that slice
+    with rematerialization disabled."""
     configs: List[DiffConfig] = []
-    for allocator in allocators:
+    for token in allocators:
+        allocator, rematerialize = _split_allocator(token)
         for optimize in (True, False):
             for compaction in (False, True):
                 configs.append(DiffConfig("baseline", optimize, compaction,
                                           max(ccm_sizes), geometry,
-                                          allocator))
+                                          allocator, rematerialize))
                 for variant in ("postpass", "postpass_cg", "integrated"):
                     for ccm in ccm_sizes:
                         configs.append(DiffConfig(variant, optimize,
                                                   compaction, ccm, geometry,
-                                                  allocator))
+                                                  allocator, rematerialize))
     return configs
 
 
@@ -222,28 +237,32 @@ class _StageCache:
         return self._lowered[key]
 
     def allocated(self, optimize: bool, geometry: str,
-                  allocator: Optional[str] = None) -> Program:
+                  allocator: Optional[str] = None,
+                  rematerialize: bool = True) -> Program:
         """Baseline (stack-spilling) allocation of the lowered program."""
-        key = (optimize, geometry, allocator)
+        key = (optimize, geometry, allocator, rematerialize)
         if key not in self._allocated:
             prog = self.lowered(optimize, geometry).clone()
             machine = MachineConfig(**GEOMETRIES[geometry])
             for fn in prog.functions.values():
-                allocate_function(fn, machine, engine=allocator)
+                allocate_function(fn, machine, rematerialize=rematerialize,
+                                  engine=allocator)
             self._allocated[key] = prog
         return self._allocated[key]
 
     def integrated(self, optimize: bool, geometry: str, ccm_bytes: int,
-                   allocator: Optional[str] = None) -> Program:
+                   allocator: Optional[str] = None,
+                   rematerialize: bool = True) -> Program:
         """Integrated allocation — depends on the CCM size but not on
         compaction, which runs after allocation."""
-        key = (optimize, geometry, ccm_bytes, allocator)
+        key = (optimize, geometry, ccm_bytes, allocator, rematerialize)
         if key not in self._integrated:
             prog = self.lowered(optimize, geometry).clone()
             machine = MachineConfig(ccm_bytes=ccm_bytes,
                                     **GEOMETRIES[geometry])
             for fn in prog.functions.values():
-                allocate_function_integrated(fn, machine, engine=allocator)
+                allocate_function_integrated(fn, machine, engine=allocator,
+                                             rematerialize=rematerialize)
             self._integrated[key] = prog
         return self._integrated[key]
 
@@ -254,14 +273,15 @@ def finalize_config(stages: _StageCache,
     machine = _machine_for(config)
     if config.variant == "integrated":
         program = stages.integrated(config.optimize, config.geometry,
-                                    config.ccm_bytes,
-                                    config.allocator).clone()
+                                    config.ccm_bytes, config.allocator,
+                                    config.rematerialize).clone()
         if config.compaction:
             for fn in program.functions.values():
                 compact_spill_memory(fn)
     else:
         program = stages.allocated(config.optimize, config.geometry,
-                                   config.allocator).clone()
+                                   config.allocator,
+                                   config.rematerialize).clone()
         if config.variant == "postpass":
             promote_spills_postpass(program, machine, interprocedural=False,
                                     compact_heavyweights=config.compaction)
@@ -407,8 +427,8 @@ def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
         result.skipped = f"reference machine error: {exc}"
         return _record(artifacts, key, result)
 
-    # dynamic stack-spill traffic of the baseline per (opt, allocator)
-    # setting, for the post-pass conservation invariant
+    # dynamic stack-spill traffic of the baseline per (opt, allocator,
+    # remat) setting, for the post-pass conservation invariant
     baseline_spill: Dict[tuple, int] = {}
     stages = _StageCache(base)
 
@@ -490,12 +510,14 @@ def _check_one(stages: _StageCache, config: DiffConfig, reference: Outcome,
     if outcome.stats is not None:
         if config.variant == "baseline" and not config.compaction \
                 and fault is None:
-            baseline_spill.setdefault((config.optimize, config.allocator),
+            baseline_spill.setdefault((config.optimize, config.allocator,
+                                       config.rematerialize),
                                       outcome.stats.spill_traffic)
         problems = _check_invariants(
             config, outcome.stats,
             None if fault is not None else
-            baseline_spill.get((config.optimize, config.allocator)))
+            baseline_spill.get((config.optimize, config.allocator,
+                                config.rematerialize)))
         if problems:
             return Divergence(None, config.name, "invariant",
                               "; ".join(problems))

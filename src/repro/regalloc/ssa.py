@@ -16,9 +16,16 @@ The allocator therefore runs in three decoupled stages:
 
 1. **Spill in SSA form** until pressure fits the machine: MAXLIVE per
    class at every point, plus the call-clobber cap (values live across
-   a call must fit in the callee-saved file).  Two spill-code variants:
-   ``split`` reloads once per using block (load/store range splitting),
-   ``everywhere`` reloads before every use.
+   a call must fit in the callee-saved file).  Candidates are ranked by
+   the ``10 ** depth`` frequency cost model with Braun–Hack
+   furthest-next-use tie-breaking (see ``analysis.nextuse``); values
+   defined only by constants are *rematerialized* — recomputed at each
+   use — instead of round-tripping through a slot, exactly as in the
+   Chaitin-Briggs backend.  Two spill-code variants: ``split`` reloads
+   once per using block (load/store range splitting) and hoists reloads
+   of loop-invariant values to the preheader, ``everywhere`` reloads
+   before every use.  Spill stores whose slot is never read back are
+   deleted after out-of-SSA lowering (dead-store elision).
 2. **Color greedily** on the chordal graph in dominator-tree preorder,
    biased toward move/phi partners so copies coalesce by construction.
    Precolored physical registers (calling convention, call clobbers)
@@ -36,13 +43,14 @@ carry the integrated allocator's CCM locations and footnote-5 rules.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..analysis import (AnalysisManager, DenseIndex, compute_liveness_masks,
-                        iter_bits, split_critical_edges,
-                        values_live_across_calls)
+from ..analysis import (INFINITE_DISTANCE, AnalysisManager, DenseIndex,
+                        compute_liveness_masks, iter_bits,
+                        split_critical_edges, values_live_across_calls)
 from ..analysis.ssa import build_ssa
 from ..ir import (Function, Instruction, Opcode, PhysReg, RegClass,
                   VirtualReg, make_move, make_reload, make_spill)
@@ -74,6 +82,8 @@ class SsaAllocationResult(AllocationResult):
     maxlive: Dict[RegClass, int] = field(default_factory=dict)
     #: parallel-copy instructions emitted while lowering out of SSA
     copies_resolved: int = 0
+    #: spill/CCM stores deleted because their slot is never read back
+    stores_elided: int = 0
     spill_mode: str = "split"
 
 
@@ -93,9 +103,6 @@ class SsaAllocator:
         self.machine = machine
         self.slot_provider = slot_provider or StackSlotProvider(fn)
         self.graph_hook = graph_hook
-        # accepted for signature parity with ChaitinBriggsAllocator;
-        # SSA spilling keeps the original def and stores it, so there
-        # is no remat decision to make at spill time
         self.rematerialize = rematerialize
         self.spill_mode = spill_mode
         self.no_spill: Set[VirtualReg] = set()
@@ -108,12 +115,17 @@ class SsaAllocator:
         #: last use in the block, so when too many of them overlap the
         #: temp can be demoted to per-use reloads of the same slot
         self._temp_origin: Dict[VirtualReg, VirtualReg] = {}
+        #: per-round cache of constant-defined values (remat candidates)
+        self._remat_map: Optional[Dict[VirtualReg, Instruction]] = None
         self._scratch: Dict[RegClass, int] = {}
         self.result = SsaAllocationResult(fn, spill_mode=spill_mode)
         self.analysis = manager or AnalysisManager(fn)
         if spill_mode == "split" and hasattr(self.slot_provider,
                                              "conservative_owners"):
             self.slot_provider.conservative_owners = True
+            # share the temp->owner map so owner-conflict checks see
+            # reused/hoisted temps' ranges (demotion grows loads there)
+            self.slot_provider.temp_origin = self._temp_origin
 
     # -- public entry --------------------------------------------------------
 
@@ -156,7 +168,7 @@ class SsaAllocator:
         trace_counter("regalloc.rounds", result.rounds)
         trace_counter("regalloc.coalesced", result.coalesced)
         trace_counter("regalloc.spilled", len(result.spilled))
-        trace_counter("regalloc.rematerialized", 0)
+        trace_counter("regalloc.rematerialized", len(result.rematerialized))
         ccm = sum(1 for loc in result.locations.values()
                   if loc.kind == "ccm")
         trace_counter("regalloc.ccm_spills", ccm)
@@ -232,6 +244,12 @@ class SsaAllocator:
         """Exact per-point pressure scan; returns the values to spill
         (empty when MAXLIVE and the call-crossing cap already fit).
 
+        Candidates are ranked by the ``10 ** depth`` frequency cost
+        (halved for rematerializable constants, which cost no memory
+        round-trip), ties broken Braun–Hack-style toward the *furthest
+        next use* from the overloaded point — evicting what the program
+        will not touch for the longest time.
+
         Also records the scan's MAXLIVE per class on the result — on
         the final round that is the exact post-spill MAXLIVE."""
         bits = self._bit_liveness()
@@ -253,12 +271,41 @@ class SsaAllocator:
                 no_mask |= 1 << j
 
         costs: Optional[Dict] = None
+        remat: Optional[Dict] = None
+        nu_out: Optional[Dict] = None
+        # lazily built per block: dense id -> ascending use positions
+        use_positions: Dict[str, Dict[int, List[int]]] = {}
         chosen_mask = 0
         chosen: List[VirtualReg] = []
         maxlive = {c: 0 for c in _CLASSES}
 
-        def relieve(point: int, rclass: RegClass, limit: int) -> None:
-            nonlocal chosen_mask, costs
+        def positions_of(block) -> Dict[int, List[int]]:
+            pos = use_positions.get(block.label)
+            if pos is None:
+                pos = {}
+                for p, instr in enumerate(block.instructions):
+                    if instr.is_phi:
+                        continue
+                    for s in instr.srcs:
+                        pos.setdefault(ids[s], []).append(p)
+                use_positions[block.label] = pos
+            return pos
+
+        def next_use_distance(j: int, block, idx: int) -> int:
+            plist = positions_of(block).get(j)
+            if plist:
+                p = bisect_left(plist, idx)
+                if p < len(plist):
+                    return plist[p] - idx
+            tail = nu_out[block.label].get(j)
+            if tail is None:
+                return INFINITE_DISTANCE
+            return min(len(block.instructions) - idx + tail,
+                       INFINITE_DISTANCE)
+
+        def relieve(point: int, rclass: RegClass, limit: int,
+                    block, idx: int) -> None:
+            nonlocal chosen_mask, costs, remat, nu_out
             m = point & cmask[rclass]
             count = (m & ~chosen_mask).bit_count()
             if count <= limit:
@@ -266,11 +313,17 @@ class SsaAllocator:
             if costs is None:
                 costs = compute_spill_costs(self.fn, self.no_spill,
                                             loop_info=self.analysis.loops())
+                remat = self._remat_templates()
+                nu_out = self.analysis.next_use()
             cand = m & vmask & ~no_mask & ~chosen_mask
             while count > limit and cand:
                 best_j = best_key = None
                 for j in iter_bits(cand):
-                    key = (costs.get(regs[j], 0.0), j)
+                    reg = regs[j]
+                    cost = costs.get(reg, 0.0)
+                    if reg in remat:
+                        cost *= 0.5
+                    key = (cost, -next_use_distance(j, block, idx), j)
                     if best_key is None or key < best_key:
                         best_key, best_j = key, j
                 bit = 1 << best_j
@@ -278,6 +331,21 @@ class SsaAllocator:
                 chosen_mask |= bit
                 chosen.append(regs[best_j])
                 count -= 1
+            if count > limit:
+                # every remaining value is a no-spill temp, a minimal
+                # range, or precolored.  Reused reload temps can still
+                # be demoted by the coloring fallback; anything beyond
+                # that is irreducible — fail loudly instead of burning
+                # rounds to an opaque MAX_ROUNDS exhaustion
+                stuck = m & ~chosen_mask
+                demotable = sum(1 for j in iter_bits(stuck & vmask)
+                                if regs[j] in self._temp_origin)
+                if count - demotable > limit:
+                    raise AllocationError(
+                        f"{self.fn.name}: register pressure is "
+                        f"irreducible at {block.label}[{idx}]: "
+                        f"{count} {rclass.name} values live, limit "
+                        f"{limit}, and no spillable candidate remains")
 
         reachable = self.analysis.cfg().reachable()
         params_mask = index.mask_of(self.fn.params)
@@ -297,13 +365,13 @@ class SsaAllocator:
                     if p > maxlive[c]:
                         maxlive[c] = p
                     if p > kof[c]:
-                        relieve(point, c, kof[c])
+                        relieve(point, c, kof[c], block, idx)
                 if instr.is_call:
                     crossing = live & ~dsts_mask
                     for c in _CLASSES:
                         if ((crossing & cmask[c] & ~chosen_mask).bit_count()
                                 > cap[c]):
-                            relieve(crossing, c, cap[c])
+                            relieve(crossing, c, cap[c], block, idx)
                 live &= ~dsts_mask
                 if not instr.is_phi:
                     for s in instr.srcs:
@@ -316,15 +384,115 @@ class SsaAllocator:
                 if p > maxlive[c]:
                     maxlive[c] = p
                 if p > kof[c]:
-                    relieve(final, c, kof[c])
+                    relieve(final, c, kof[c], block, 0)
         self.result.maxlive = maxlive
         return chosen
+
+    # .. rematerialization (Briggs): a value defined only by constant
+    # loads is recomputed at each use instead of being stored/reloaded ..
+
+    def _remat_templates(self) -> Dict[VirtualReg, Instruction]:
+        """All values currently defined only by identical constant
+        loads (never-killed constants) — one program pass, cached until
+        the next spill-code mutation."""
+        if not self.rematerialize:
+            return {}
+        if self._remat_map is not None:
+            return self._remat_map
+        remat_ops = (Opcode.LOADI, Opcode.LOADFI, Opcode.LOADG)
+        templates: Dict[VirtualReg, Instruction] = {}
+        barred: Set[VirtualReg] = set()
+        for _, instr in self.fn.instructions():
+            for reg in instr.dsts:
+                if reg in barred:
+                    continue
+                prev = templates.get(reg)
+                if (instr.opcode not in remat_ops or len(instr.dsts) != 1
+                        or (prev is not None
+                            and (instr.opcode is not prev.opcode
+                                 or instr.imm != prev.imm
+                                 or instr.symbol != prev.symbol))):
+                    barred.add(reg)
+                    templates.pop(reg, None)
+                elif prev is None:
+                    templates[reg] = instr
+        self._remat_map = templates
+        return templates
+
+    def _rematerialize_spills(self,
+                              spills: List[VirtualReg]) -> List[VirtualReg]:
+        """Peel the rematerializable values off a spill list: recompute
+        them at their uses and return what still needs a slot."""
+        templates = self._remat_templates()
+        keep: List[VirtualReg] = []
+        pairs: List[Tuple[VirtualReg, Instruction]] = []
+        for reg in spills:
+            template = templates.get(reg)
+            if (template is None or reg in self._temp_origin
+                    or reg in self.result.locations):
+                # already slotted (respill) or demotable temp: the
+                # existing demotion machinery handles those
+                keep.append(reg)
+            else:
+                pairs.append((reg, template))
+        for reg, template in pairs:
+            self._rematerialize_reg(reg, template)
+        return keep
+
+    def _rematerialize_reg(self, reg: VirtualReg,
+                           template: Instruction) -> None:
+        """Delete ``reg``'s constant def and recompute it right before
+        every use — the Chaitin-Briggs remat made phi-aware: a phi
+        source is recomputed at the end of the predecessor."""
+        fn = self.fn
+        for block in fn.blocks:
+            rewritten: List[Instruction] = []
+            for instr in block.instructions:
+                if instr.dsts == [reg]:
+                    continue  # remat-able ⇒ every def is the template
+                if not instr.is_phi and reg in instr.srcs:
+                    temp = fn.new_vreg(reg.rclass)
+                    self.no_spill.add(temp)
+                    clone = template.copy()
+                    clone.dsts = [temp]
+                    rewritten.append(clone)
+                    instr.replace_src(reg, temp)
+                rewritten.append(instr)
+            block.instructions = rewritten
+        for block in fn.blocks:
+            for phi in block.phis():
+                for idx, (src, pred) in enumerate(zip(phi.srcs,
+                                                      phi.phi_labels)):
+                    if src != reg:
+                        continue
+                    pblock = fn.block(pred)
+                    temp = fn.new_vreg(reg.rclass)
+                    self.no_spill.add(temp)
+                    clone = template.copy()
+                    clone.dsts = [temp]
+                    at = len(pblock.instructions)
+                    if pblock.terminator is not None:
+                        at -= 1
+                    pblock.instructions.insert(at, clone)
+                    phi.srcs[idx] = temp
+        self.result.rematerialized.append(reg)
+        trace_counter("regalloc.ssa.remat")
 
     def _insert_spill_code(self, spills: List[VirtualReg],
                            graph: InterferenceGraph) -> None:
         """SSA-preserving spill code: the value keeps its single def and
         is stored right after it; every use reads a fresh short-lived
         temporary (shared per using block in ``split`` mode)."""
+        if self.rematerialize:
+            n_before = len(spills)
+            spills = self._rematerialize_spills(spills)
+            if len(spills) != n_before:
+                # remat rewrote uses: downstream liveness queries (call
+                # crossings, reload planning) must see the new program
+                self._remat_map = None
+                self.analysis.invalidate(cfg=False)
+            if not spills:
+                return
         begin = getattr(self.slot_provider, "begin_round", None)
         if begin is not None:
             begin(values_live_across_calls(self.fn,
@@ -356,11 +524,18 @@ class SsaAllocator:
         spill_set = set(locations)
         split = self.spill_mode == "split"
         temps_by_block: Dict[str, Dict[VirtualReg, VirtualReg]] = {}
+        hoisted: Dict[str, Dict[VirtualReg, VirtualReg]] = {}
+        exports: Dict[str, Dict[VirtualReg, VirtualReg]] = {}
+        if split:
+            hoisted, exports = self._hoist_loop_reloads(locations, respill)
 
         fn = self.fn
         entry = fn.entry
         for block in fn.blocks:
-            temp_of: Dict[VirtualReg, VirtualReg] = {}
+            # loop blocks start with the preheader's hoisted reloads
+            # already resident
+            temp_of: Dict[VirtualReg, VirtualReg] = dict(
+                hoisted.get(block.label, ()))
             out: List[Instruction] = []
             head_stores: List[Instruction] = []
             if block is entry:
@@ -439,6 +614,14 @@ class SsaAllocator:
             block.instructions = out
             temps_by_block[block.label] = temp_of
 
+        # a hoisted reload sits at its preheader's end, so phi reads in
+        # that predecessor may reuse it (unless a cheaper resident copy
+        # already exists there)
+        for label, temps in exports.items():
+            tmap = temps_by_block.setdefault(label, {})
+            for reg, temp in temps.items():
+                tmap.setdefault(reg, temp)
+
         # phi sources are read at the end of the predecessor: reload
         # there (or reuse the predecessor's resident copy in split mode)
         for block in fn.blocks:
@@ -470,7 +653,93 @@ class SsaAllocator:
         for reg in locations:
             if not split or reg in respill:
                 self._min_range.add(reg)
+        self._remat_map = None
         self.analysis.invalidate(cfg=False)
+
+    def _hoist_loop_reloads(self, locations: Dict[VirtualReg, SpillLocation],
+                            respill: Set[VirtualReg]
+                            ) -> Tuple[Dict[str, Dict], Dict[str, Dict]]:
+        """Loop-invariant reload placement (split mode): a value defined
+        outside a loop but used inside it is reloaded once in the
+        preheader instead of once per using block per iteration.
+
+        Conditions: the loop contains no calls (resident temps cannot
+        survive one — the scan treats them as unspillable), its header
+        has a unique non-loop predecessor, and that predecessor is
+        dominated by the value's defining block so the hoisted load
+        executes after the def-adjacent store.  The temp registers in
+        ``_temp_origin`` so the coloring fallback can still demote it to
+        per-use reloads when keeping it live across the whole loop
+        overloads a point.
+
+        Returns ``(hoisted, exports)``: per-loop-block resident maps to
+        seed ``temp_of``, and per-preheader maps so phi reads at the
+        preheader's end can reuse the same load."""
+        loops = self.analysis.loops().loops
+        candidates = [r for r in locations if r not in respill]
+        if not loops or not candidates:
+            return {}, {}
+        fn = self.fn
+        cfg = self.analysis.cfg()
+        dom = self.analysis.dominators()
+        cset = set(candidates)
+        def_block: Dict[VirtualReg, str] = {
+            p: fn.entry.label for p in fn.params if p in cset}
+        use_blocks: Dict[VirtualReg, Set[str]] = {r: set() for r in candidates}
+        has_call: Set[str] = set()
+        for block in fn.blocks:
+            for instr in block.instructions:
+                if instr.is_call:
+                    has_call.add(block.label)
+                if instr.is_phi:
+                    for s, pred in zip(instr.srcs, instr.phi_labels):
+                        if s in cset:
+                            use_blocks[s].add(pred)
+                else:
+                    for s in instr.srcs:
+                        if s in cset:
+                            use_blocks[s].add(block.label)
+                for d in instr.dsts:
+                    if d in cset:
+                        def_block[d] = block.label
+        hoisted: Dict[str, Dict[VirtualReg, VirtualReg]] = {}
+        exports: Dict[str, Dict[VirtualReg, VirtualReg]] = {}
+        # outermost loops first: one preheader load covers the nest
+        for loop in sorted(loops, key=lambda l: (-len(l.blocks), l.header)):
+            if any(b in has_call for b in loop.blocks):
+                continue
+            outside = [p for p in cfg.preds[loop.header]
+                       if p not in loop.blocks]
+            if len(outside) != 1:
+                continue
+            pre = outside[0]
+            loads: List[Instruction] = []
+            for reg in candidates:
+                db = def_block.get(reg)
+                if (db is None or db in loop.blocks
+                        or not (use_blocks[reg] & loop.blocks)
+                        or reg in hoisted.get(loop.header, ())
+                        or not dom.dominates(db, pre)):
+                    continue
+                temp = fn.new_vreg(reg.rclass)
+                self.no_spill.add(temp)
+                self._temp_origin[temp] = reg
+                load = self._make_load(temp, locations[reg])
+                loads.append(load)
+                self.slot_provider.note_spill_code(
+                    reg, locations[reg], [], [load])
+                for b in loop.blocks:
+                    hoisted.setdefault(b, {}).setdefault(reg, temp)
+                exports.setdefault(pre, {}).setdefault(reg, temp)
+                trace_counter("regalloc.ssa.hoisted")
+            if loads:
+                pblock = fn.block(pre)
+                at = len(pblock.instructions)
+                if pblock.terminator is not None:
+                    at -= 1
+                pblock.instructions[at:at] = loads
+                trace_counter("regalloc.spill_instrs", len(loads))
+        return hoisted, exports
 
     def _make_store(self, reg, location: SpillLocation) -> Instruction:
         if location.kind == "ccm":
@@ -606,6 +875,42 @@ class SsaAllocator:
                     # is already queued for demotion — that suffices
                     failed.extend(victims)
                     continue
+                if reg in self._min_range:
+                    # re-spilling an already-minimal range is a no-op
+                    # (the value is just its def and the adjacent
+                    # store): relieve the neighborhood instead — demote
+                    # reused temps crowding it, else spill a neighbor
+                    # whose range can still shrink
+                    victims = []
+                    spillable = []
+                    has_reused = False
+                    m = adj[i]
+                    while m:
+                        low = m & -m
+                        n = node_list[low.bit_length() - 1]
+                        m ^= low
+                        if (not isinstance(n, VirtualReg)
+                                or n.rclass is not reg.rclass):
+                            continue
+                        if n in self._temp_origin:
+                            has_reused = True
+                            if n not in failed:
+                                victims.append(n)
+                        elif (n not in self.no_spill
+                                and n not in self._min_range
+                                and n not in failed):
+                            spillable.append(n)
+                    if has_reused:
+                        failed.extend(victims)
+                        continue
+                    if spillable:
+                        failed.extend(spillable)
+                        continue
+                    raise AllocationError(
+                        f"{fn.name}: {reg} is uncolorable at its "
+                        f"definition: its spilled range is already "
+                        f"minimal and no demotable temp or shrinkable "
+                        f"neighbor remains")
                 failed.append(reg)
                 continue
             assignment[reg] = PhysReg(color, reg.rclass)
@@ -618,7 +923,41 @@ class SsaAllocator:
     def _finalize(self, assignment: Dict[VirtualReg, PhysReg]) -> None:
         self.result.copies_resolved += self._lower_phis(assignment)
         self._rewrite(assignment)
+        self._elide_dead_stores()
         self.analysis.invalidate(cfg=False)
+
+    def _elide_dead_stores(self) -> None:
+        """Delete spill/CCM stores to slots never read back.
+
+        Spill slots are function-private, so a store whose (kind,
+        offset) has no load anywhere in the function can only be dead:
+        respilling demotes a resident range to per-use reloads without
+        revisiting the def-adjacent store, and loop hoisting can strand
+        a block-local reload the same way.  Runs on the final lowered
+        program so parallel-copy scratch traffic is visible."""
+        from ..ir import CCM_LOADS, CCM_STORES, SPILL_LOADS, SPILL_STORES
+        loaded: Set[Tuple[str, int]] = set()
+        for block in self.fn.blocks:
+            for instr in block.instructions:
+                if instr.opcode in SPILL_LOADS:
+                    loaded.add(("stack", instr.imm))
+                elif instr.opcode in CCM_LOADS:
+                    loaded.add(("ccm", instr.imm))
+        elided = 0
+        for block in self.fn.blocks:
+            kept: List[Instruction] = []
+            for instr in block.instructions:
+                if ((instr.opcode in SPILL_STORES
+                     and ("stack", instr.imm) not in loaded)
+                        or (instr.opcode in CCM_STORES
+                            and ("ccm", instr.imm) not in loaded)):
+                    elided += 1
+                    continue
+                kept.append(instr)
+            block.instructions = kept
+        if elided:
+            self.result.stores_elided = elided
+            trace_counter("regalloc.ssa.stores_elided", elided)
 
     def _lower_phis(self, assignment: Dict[VirtualReg, PhysReg]) -> int:
         """Replace phis with sequentialized parallel copies on each

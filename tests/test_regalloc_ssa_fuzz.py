@@ -61,33 +61,70 @@ def _observe(program, machine):
 
 
 def _check_seed(seed: int) -> int:
-    """Compare all three backends on one seed; count trapping runs."""
+    """Compare all backends (remat on and off) on one seed; count
+    trapping runs."""
     traps = 0
     source = generate_source(seed)
     for config in CONFIGS:
         results = {}
         for allocator in ALLOCATORS:
-            cfg = dataclasses.replace(config, allocator=allocator)
-            program, machine = compile_config(compile_source(source), cfg)
-            verify_program(program)
-            for fn in program.functions.values():
-                check_no_virtual_registers(fn)
-            results[allocator] = _observe(program, machine)
-        baseline = results["chaitin"]
-        for allocator in ALLOCATORS[1:]:
-            assert results[allocator] == baseline, (
+            for rematerialize in (True, False):
+                cfg = dataclasses.replace(config, allocator=allocator,
+                                          rematerialize=rematerialize)
+                program, machine = compile_config(compile_source(source), cfg)
+                verify_program(program)
+                for fn in program.functions.values():
+                    check_no_virtual_registers(fn)
+                results[(allocator, rematerialize)] = _observe(program,
+                                                               machine)
+        baseline = results[("chaitin", True)]
+        for key, outcome in results.items():
+            assert outcome == baseline, (
                 f"seed {seed} config {config.name}:\n"
-                f"  chaitin:      {baseline!r}\n"
-                f"  {allocator}: {results[allocator]!r}")
+                f"  chaitin: {baseline!r}\n"
+                f"  {key}:   {outcome!r}")
         if baseline[0] == "trap":
             traps += 1
     return traps
+
+
+def _check_oracle_seed(seed: int) -> None:
+    """RunResults of the SSA-allocated (remat-enabled) program must be
+    bit-identical between the predecode engine and the reference
+    interpreter — value, full RunStats, and final globals."""
+    source = generate_source(seed)
+    for config in CONFIGS:
+        for allocator in ("ssa", "ssa-everywhere"):
+            cfg = dataclasses.replace(config, allocator=allocator)
+            program, machine = compile_config(compile_source(source), cfg)
+            results = {}
+            for engine in ("interp", "predecode"):
+                sim = Simulator(program, machine, fuel=FUEL,
+                                poison_caller_saved=True, profile=True,
+                                engine=engine)
+                try:
+                    run = sim.run()
+                    results[engine] = ("value", run.value,
+                                       dataclasses.asdict(run.stats),
+                                       sim.globals_snapshot())
+                except SimulationError as exc:
+                    results[engine] = ("error", type(exc).__name__,
+                                       exc.kind, str(exc),
+                                       sim.globals_snapshot())
+            assert results["predecode"] == results["interp"], (
+                f"seed {seed} config {cfg.name}: engines diverge:\n"
+                f"  interp:    {results['interp']!r}\n"
+                f"  predecode: {results['predecode']!r}")
 
 
 class TestEquivalenceSmoke:
     def test_small_seed_range(self):
         for seed in SMOKE_SEEDS:
             _check_seed(seed)
+
+    def test_oracle_small_seed_range(self):
+        for seed in SMOKE_SEEDS:
+            _check_oracle_seed(seed)
 
 
 @pytest.mark.fuzz
@@ -97,6 +134,12 @@ def test_equivalence_over_fuzz_corpus():
     # generator emits unguarded divisions, so a corpus this size always
     # contains trapping seeds
     assert traps > 0, "no trapping seed in the corpus; traps untested"
+
+
+@pytest.mark.fuzz
+def test_oracle_equivalence_over_fuzz_corpus():
+    for seed in FUZZ_SEEDS:
+        _check_oracle_seed(seed)
 
 
 _RESULT_SNIPPET = r"""

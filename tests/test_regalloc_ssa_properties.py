@@ -25,6 +25,11 @@ omitted edges (copy pairs whose source is live after the copy) before
 checking chordality — without them a ``mov`` chain threaded through a
 high-pressure region exhibits chordless 4-cycles.
 
+Beyond the graph properties, every check also asserts the spiller's
+contract with the machine: post-spill MAXLIVE ≤ k per class, and no
+more values live across any call than the callee-saved file holds.
+Both spill modes run with rematerialization on and off.
+
 Checked over hand-written pressure kernels, every ``tests/corpus/``
 reproducer, and the difftest generator's distribution (small range in
 tier 1, 220 optimized seeds under the ``fuzz`` marker).
@@ -52,6 +57,7 @@ from repro.regalloc.ssa import _CLASSES
 SMOKE_SEEDS = range(0, 15)
 FUZZ_SEEDS = range(0, 220)
 MODES = ("split", "everywhere")
+REMAT = (True, False)
 
 SMALL = MachineConfig(**GEOMETRIES["small"])
 
@@ -87,6 +93,7 @@ class _Capture(SsaAllocator):
 
     def _color(self, graph):
         self.captured = graph
+        self.captured_call_crossing = {}
         # the builder's Chaitin-style move exemption drops the dst-src
         # edge of every copy; collect the pairs whose ranges really do
         # intersect (source live after the copy) so the checks can run
@@ -102,6 +109,16 @@ class _Capture(SsaAllocator):
                             and isinstance(src, VirtualReg)
                             and src in live):
                         move_edges.append((dst, src))
+                if instr.is_call:
+                    # same walk doubles as the call-crossing census for
+                    # the callee-saved cap property
+                    for rc in _CLASSES:
+                        n = sum(1 for r in live
+                                if isinstance(r, VirtualReg)
+                                and r.rclass is rc
+                                and r not in instr.dsts)
+                        if n > self.captured_call_crossing.get(rc, 0):
+                            self.captured_call_crossing[rc] = n
                 live.difference_update(instr.dsts)
                 if not instr.is_phi:
                     live.update(instr.srcs)
@@ -135,14 +152,23 @@ def _greedy_colors(adj, order):
     return colors
 
 
-def _check_function(fn, machine, mode) -> int:
+def _check_function(fn, machine, mode, rematerialize=True) -> int:
     """Allocate ``fn`` and assert all three properties; returns the
     number of class projections actually checked."""
-    alloc = _Capture(fn, machine, spill_mode=mode)
+    alloc = _Capture(fn, machine, spill_mode=mode,
+                     rematerialize=rematerialize)
     result = alloc.run()
     graph = alloc.captured
     order = alloc.captured_order
     checked = 0
+    cap = {rc: max(0, machine.n_regs(rc) - machine.callee_saved_start)
+           for rc in _CLASSES}
+    for rclass, crossing in alloc.captured_call_crossing.items():
+        # post-spill, everything live across a call must fit in the
+        # callee-saved file
+        assert crossing <= cap[rclass], (
+            f"{fn.name}/{mode}: {crossing} {rclass} values live across "
+            f"a call, callee-saved file holds {cap[rclass]}")
     for rclass in _CLASSES:
         nodes = [n for n in graph.nodes()
                  if isinstance(n, VirtualReg) and n.rclass is rclass]
@@ -177,11 +203,11 @@ def _check_function(fn, machine, mode) -> int:
     return checked
 
 
-def _check_program(prog, machine, mode) -> int:
+def _check_program(prog, machine, mode, rematerialize=True) -> int:
     checked = 0
     for fn in prog.functions.values():
         lower_calling_convention(fn, machine)
-        checked += _check_function(fn, machine, mode)
+        checked += _check_function(fn, machine, mode, rematerialize)
     return checked
 
 
@@ -198,14 +224,18 @@ class TestHandWritten:
         assert _check_program(build_loop_sum_program(), SMALL, mode) > 0
 
     @pytest.mark.parametrize("mode", MODES)
-    def test_pressure_kernel_tiny_machine(self, tiny_machine, mode):
+    @pytest.mark.parametrize("rematerialize", REMAT)
+    def test_pressure_kernel_tiny_machine(self, tiny_machine, mode,
+                                          rematerialize):
         prog = _compiled(PRESSURE_SOURCE)
-        assert _check_program(prog, tiny_machine, mode) > 0
+        assert _check_program(prog, tiny_machine, mode, rematerialize) > 0
 
     @pytest.mark.parametrize("mode", MODES)
-    def test_pressure_kernel_optimized(self, tiny_machine, mode):
+    @pytest.mark.parametrize("rematerialize", REMAT)
+    def test_pressure_kernel_optimized(self, tiny_machine, mode,
+                                       rematerialize):
         prog = _compiled(PRESSURE_SOURCE, optimize=True)
-        assert _check_program(prog, tiny_machine, mode) > 0
+        assert _check_program(prog, tiny_machine, mode, rematerialize) > 0
 
 
 class TestCorpus:
@@ -217,23 +247,37 @@ class TestCorpus:
         _check_program(_compiled(source), SMALL, mode)
 
 
+class TestConvergenceRegressions:
+    def test_min_range_coloring_failure_converges(self):
+        # seed 142 (optimized, split mode, no remat) historically looped
+        # to MAX_ROUNDS: a value already spilled to its minimal
+        # def+store range kept failing to color against precolored
+        # constraints, and re-spilling it was a no-op.  The coloring
+        # fallback must relieve the neighborhood instead.
+        prog = _compiled(generate_source(142), optimize=True)
+        assert _check_program(prog, SMALL, "split",
+                              rematerialize=False) > 0
+
+
 class TestGeneratorSmoke:
     @pytest.mark.parametrize("mode", MODES)
-    def test_small_seed_range(self, mode):
+    @pytest.mark.parametrize("rematerialize", REMAT)
+    def test_small_seed_range(self, mode, rematerialize):
         checked = 0
         for seed in SMOKE_SEEDS:
             prog = _compiled(generate_source(seed))
-            checked += _check_program(prog, SMALL, mode)
+            checked += _check_program(prog, SMALL, mode, rematerialize)
         assert checked > 0
 
 
 @pytest.mark.fuzz
 @pytest.mark.parametrize("mode", MODES)
-def test_properties_over_fuzz_corpus(mode):
+@pytest.mark.parametrize("rematerialize", REMAT)
+def test_properties_over_fuzz_corpus(mode, rematerialize):
     # optimized programs produced the historical hard cases (longer
     # blocks, more overlapping ranges), so the deep sweep optimizes
     checked = 0
     for seed in FUZZ_SEEDS:
         prog = _compiled(generate_source(seed), optimize=True)
-        checked += _check_program(prog, SMALL, mode)
+        checked += _check_program(prog, SMALL, mode, rematerialize)
     assert checked > 0
