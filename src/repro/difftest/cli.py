@@ -116,12 +116,15 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None
                              "'bitset' (dense masks; default) or 'sets' "
                              "(the reference oracle). Exported to worker "
                              "processes via REPRO_LIVENESS_ENGINE.")
-    parser.add_argument("--sim-engine", choices=("predecode", "interp"),
+    parser.add_argument("--sim-engine",
+                        choices=("predecode", "interp", "batch"),
                         default=None,
                         help="simulator execution engine: 'predecode' "
-                             "(closure-compiled; default) or 'interp' "
-                             "(the reference oracle). Exported to worker "
-                             "processes via REPRO_SIM_ENGINE.")
+                             "(closure-compiled; default), 'batch' "
+                             "(one shared pass per group of configs "
+                             "that compile to identical code), or "
+                             "'interp' (the reference oracle). Exported "
+                             "to worker processes via REPRO_SIM_ENGINE.")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the JSON report here ('-' for stdout)")
     parser.add_argument("-j", "--jobs", type=int, default=None,

@@ -33,10 +33,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..ccm import (allocate_function_integrated, compact_spill_memory,
                    promote_spills_postpass)
 from ..exec import ArtifactCache, StageClock, SweepStats, run_jobs
+from ..exec.batching import group_batches
 from ..exec.compare import values_match as _values_match
 from ..frontend import compile_source
 from ..ir import Program, verify_program
-from ..machine import MachineConfig, RunStats, SimulationError, Simulator
+from ..machine import (BatchMember, BatchSimulation, BatchSplit,
+                       MachineConfig, RunStats, SimulationError, Simulator,
+                       batch_key, sim_engine)
 from ..opt import optimize_program
 from ..regalloc import allocate_function, lower_calling_convention
 from ..trace import TraceRecorder, recording
@@ -427,18 +430,25 @@ def check_source(source: str, configs: Optional[Sequence[DiffConfig]] = None,
         result.skipped = f"reference machine error: {exc}"
         return _record(artifacts, key, result)
 
-    # dynamic stack-spill traffic of the baseline per (opt, allocator,
-    # remat) setting, for the post-pass conservation invariant
-    baseline_spill: Dict[tuple, int] = {}
     stages = _StageCache(base)
-
-    for config in configs:
-        divergence = _check_one(stages, config, reference, baseline_spill,
-                                fault, clock)
-        if divergence is not None:
-            divergence.seed = seed
-            divergence.source = source
-            result.divergences.append(divergence)
+    if sim_engine() == "batch":
+        divergences = _check_all_batched(stages, configs, reference,
+                                         fault, clock)
+    else:
+        # dynamic stack-spill traffic of the baseline per (opt,
+        # allocator, remat) setting, for the post-pass conservation
+        # invariant
+        baseline_spill: Dict[tuple, int] = {}
+        divergences = []
+        for config in configs:
+            divergence = _check_one(stages, config, reference,
+                                    baseline_spill, fault, clock)
+            if divergence is not None:
+                divergences.append(divergence)
+    for divergence in divergences:
+        divergence.seed = seed
+        divergence.source = source
+        result.divergences.append(divergence)
     return _record(artifacts, key, result)
 
 
@@ -480,10 +490,23 @@ def _check_one(stages: _StageCache, config: DiffConfig, reference: Outcome,
         with _timed(clock, "execute"):
             outcome = _execute(program, machine, poison=True)
     except SimulationError as exc:
-        return Divergence(None, config.name, "trap",
-                          f"machine error in compiled code: {exc} "
-                          f"(reference: {reference.kind})")
+        return _machine_error_divergence(config, exc, reference)
+    return _judge(config, outcome, reference, baseline_spill, fault)
 
+
+def _machine_error_divergence(config: DiffConfig, exc: SimulationError,
+                              reference: Outcome) -> Divergence:
+    return Divergence(None, config.name, "trap",
+                      f"machine error in compiled code: {exc} "
+                      f"(reference: {reference.kind})")
+
+
+def _judge(config: DiffConfig, outcome: Outcome, reference: Outcome,
+           baseline_spill: Dict[tuple, int],
+           fault: FaultFn = None) -> Optional[Divergence]:
+    """Compare one config's outcome against the reference and the
+    sanity invariants — shared verbatim by the per-config scalar loop
+    and the batched path, so both report identical divergences."""
     if reference.kind == "trap":
         if outcome.kind != "trap":
             return Divergence(None, config.name, "trap",
@@ -522,6 +545,102 @@ def _check_one(stages: _StageCache, config: DiffConfig, reference: Outcome,
             return Divergence(None, config.name, "invariant",
                               "; ".join(problems))
     return None
+
+
+def _check_all_batched(stages: _StageCache, configs: Sequence[DiffConfig],
+                       reference: Outcome, fault: FaultFn = None,
+                       clock: Optional[StageClock] = None
+                       ) -> List[Divergence]:
+    """The whole lattice under the batch simulation engine.
+
+    Compiles every config first, groups them by
+    :func:`repro.machine.batch_key` (configs whose programs compile to
+    identical code under an architecturally-identical machine), runs
+    one :class:`BatchSimulation` per group, then judges each config in
+    lattice order with the same logic as the scalar loop — the
+    resulting :class:`SeedResult` is bit-identical, only the execute
+    stage is shared.  Execute time lands in ``execute.batch`` /
+    ``execute.scalar`` instead of ``execute``; fingerprint/grouping
+    time lands in ``group``.
+
+    Only one *representative* program clone is kept per group — a
+    member's contribution beyond its fingerprint is just its machine.
+    Dropping the other clones as they are keyed matters: holding a
+    whole lattice of compiled programs alive makes every later
+    compile and simulate pay for garbage-collector sweeps over it.
+    """
+    n = len(configs)
+    keys: List[Optional[tuple]] = []
+    machines: List[Optional[MachineConfig]] = [None] * n
+    representatives: Dict[tuple, Program] = {}
+    compile_errors: Dict[int, Divergence] = {}
+    for index, config in enumerate(configs):
+        try:
+            with _timed(clock, "compile"):
+                program, machine = finalize_config(stages, config)
+        except Exception as exc:
+            compile_errors[index] = Divergence(
+                None, config.name, "compile_error",
+                f"{type(exc).__name__}: {exc}")
+            keys.append(None)
+            continue
+        if fault is not None:
+            fault(program)
+        with _timed(clock, "group"):
+            key = batch_key(program, machine)
+        keys.append(key)
+        machines[index] = machine
+        representatives.setdefault(key, program)
+
+    outcomes: List[Optional[Outcome]] = [None] * n
+    machine_errors: List[Optional[SimulationError]] = [None] * n
+    pending = group_batches(keys)
+    while pending:
+        group = pending.pop()
+        program = representatives[keys[group[0]]]
+        batch = BatchSimulation(
+            program, [BatchMember(machines[i]) for i in group],
+            fuel=FUEL, poison_caller_saved=True, clock=clock)
+        try:
+            runs = batch.run()
+        except BatchSplit as split:
+            # the group's ccm_bytes limits actually diverged (watermark
+            # reached, or a trap with mixed limits): re-dispatch each
+            # limit class as its own strict single-limit batch
+            pending.extend([group[j] for j in sub] for sub in split.groups)
+            continue
+        except SimulationError as exc:
+            # architectural determinism: the whole group shares the
+            # trap (or machine error) and the post-trap global state
+            if exc.kind == "trap":
+                shared = Outcome("trap", trap=str(exc),
+                                 globals=batch.globals_snapshot())
+                for i in group:
+                    outcomes[i] = shared
+            else:
+                for i in group:
+                    machine_errors[i] = exc
+            continue
+        shared_globals = batch.globals_snapshot()
+        for i, run in zip(group, runs):
+            outcomes[i] = Outcome("value", value=run.value,
+                                  globals=shared_globals, stats=run.stats)
+
+    baseline_spill: Dict[tuple, int] = {}
+    divergences: List[Divergence] = []
+    for index, config in enumerate(configs):
+        if index in compile_errors:
+            divergences.append(compile_errors[index])
+            continue
+        if machine_errors[index] is not None:
+            divergences.append(_machine_error_divergence(
+                config, machine_errors[index], reference))
+            continue
+        divergence = _judge(config, outcomes[index], reference,
+                            baseline_spill, fault)
+        if divergence is not None:
+            divergences.append(divergence)
+    return divergences
 
 
 def check_seed(seed: int, configs: Optional[Sequence[DiffConfig]] = None,

@@ -18,6 +18,9 @@ share:
 * :mod:`repro.exec.stats` — per-stage wall/CPU timing and cache
   hit-rate accounting, surfaced as ``--stats`` JSON so perf regressions
   in the compiler itself stay visible.
+* :mod:`repro.exec.batching` — deterministic grouping of jobs into
+  simulation batches for the batch engine (one architectural pass per
+  group of configs that compile to identical code).
 
 :mod:`repro.exec.compare` holds the single value-comparison helper the
 harness verifier and the difftest oracle both use (they used to carry
@@ -26,12 +29,14 @@ and fail the other).
 """
 
 from .artifacts import ArtifactCache, code_version, default_cache_dir
+from .batching import group_batches
 from .compare import FLOAT_RTOL, values_match
 from .pool import default_jobs, run_jobs
 from .stats import StageClock, SweepStats
 
 __all__ = [
     "ArtifactCache", "code_version", "default_cache_dir",
+    "group_batches",
     "FLOAT_RTOL", "values_match",
     "default_jobs", "run_jobs",
     "StageClock", "SweepStats",

@@ -1,0 +1,35 @@
+"""Deterministic grouping of sweep jobs into simulation batches.
+
+The batch simulation engine (:mod:`repro.machine.batch`) runs every
+member of a group through one architectural pass, so group *composition*
+becomes part of the execution plan.  It must therefore be a pure
+function of the job list: grouping happens through an insertion-ordered
+dict keyed by content digests (``repro.machine.batch_key`` builds them
+from a sha256 program fingerprint plus a tuple of machine ints), never
+through set/dict iteration over hash-randomized values — a sweep fanned
+out across worker processes with different ``PYTHONHASHSEED`` values
+must form identical batches (the cross-process determinism test in
+``tests/test_sim_batch_fuzz.py`` enforces it).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional
+
+__all__ = ["group_batches"]
+
+
+def group_batches(keys: Iterable[Optional[Hashable]]) -> List[List[int]]:
+    """Partition job indices into batches of equal keys.
+
+    Groups appear in first-seen order and each group lists its member
+    indices in input order, so the result is deterministic for a given
+    input sequence.  ``None`` keys mark unbatchable jobs (e.g. configs
+    that failed to compile) and are excluded from every group.
+    """
+    groups: dict = {}
+    for index, key in enumerate(keys):
+        if key is None:
+            continue
+        groups.setdefault(key, []).append(index)
+    return list(groups.values())

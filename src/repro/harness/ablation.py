@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..exec import ArtifactCache, StageClock, SweepStats, run_jobs
 from ..ir import format_program
-from ..machine import CacheConfig, DataCache, MachineConfig
+from ..machine import (BatchMember, BatchSimulation, CacheConfig, DataCache,
+                       MachineConfig, sim_engine)
 from ..machine.simulator import Simulator
 from ..workloads.suite import build_routine
 from .experiment import compile_program
@@ -127,9 +128,8 @@ def _ablation_job(item: Tuple[str, str], machine: MachineConfig,
         prog = build_routine(routine)
     key = None
     if artifacts is not None:
-        key = artifacts.key(
-            format_program(prog),
-            f"ablation:{config_name}:{variant}:{cache_config!r}:{machine!r}")
+        key = _cell_key(artifacts, format_program(prog), config_name,
+                        machine)
         hit, cached = artifacts.get(key)
         if hit:
             payload = clock.to_payload(cache_hit=True)
@@ -152,20 +152,98 @@ def _ablation_job(item: Tuple[str, str], machine: MachineConfig,
     return cell, payload
 
 
+def _cell_key(artifacts: ArtifactCache, program_text: str, config_name: str,
+              machine: MachineConfig) -> str:
+    variant, cache_config = CONFIGS[config_name]
+    return artifacts.key(
+        program_text,
+        f"ablation:{config_name}:{variant}:{cache_config!r}:{machine!r}")
+
+
+def _ablation_batch_job(item: Tuple[str, str, Tuple[str, ...]],
+                        machine: MachineConfig,
+                        cache_root: Optional[str],
+                        cache_version: Optional[str]
+                        ) -> Tuple[List[AblationCell], dict]:
+    """One pool job under the batch engine: every ablation config of
+    one (routine, variant) pair, simulated in a single shared pass.
+
+    The grid's grouping is static — all four cache ablations run the
+    identical baseline-compiled routine and differ only in their
+    attached cache, which is exactly the batch engine's fan-out axis —
+    so each cell is bit-identical to its scalar ``_ablation_job``
+    counterpart (the artifact-cache keys are the same, per cell).
+    """
+    routine, variant, config_names = item
+    clock = StageClock()
+    artifacts = (ArtifactCache(cache_root, version=cache_version)
+                 if cache_root is not None else None)
+    with clock.stage("build"):
+        prog = build_routine(routine)
+    cells: Dict[str, AblationCell] = {}
+    keys: Dict[str, str] = {}
+    if artifacts is not None:
+        text = format_program(prog)
+        for name in config_names:
+            keys[name] = _cell_key(artifacts, text, name, machine)
+            hit, cached = artifacts.get(keys[name])
+            if hit:
+                cells[name] = cached
+    missing = [name for name in config_names if name not in cells]
+    if missing:
+        with clock.stage("compile"):
+            compile_program(prog, machine, variant)
+        with clock.stage("simulate"):
+            batch = BatchSimulation(
+                prog, [BatchMember(machine, CONFIGS[name][1])
+                       for name in missing],
+                poison_caller_saved=True)
+            runs = batch.run()
+        for name, run in zip(missing, runs):
+            cstats = run.stats.cache
+            cells[name] = AblationCell(
+                routine, name, run.stats.cycles, run.stats.memory_cycles,
+                cstats.hit_rate, cstats.effective_hit_rate)
+            if artifacts is not None:
+                artifacts.put(keys[name], cells[name])
+    payload = clock.to_payload(cache_hit=not missing)
+    if artifacts is not None:
+        payload["cache_errors"] = artifacts.errors
+    return [cells[name] for name in config_names], payload
+
+
 def run_ablation(routines: Optional[List[str]] = None,
                  machine: Optional[MachineConfig] = None,
                  jobs: int = 1,
                  artifacts: Optional[ArtifactCache] = None,
                  stats: Optional[SweepStats] = None) -> AblationResult:
     machine = machine or MachineConfig(ccm_bytes=1024)
+    cache_root = artifacts.root if artifacts is not None else None
+    cache_version = artifacts.version if artifacts is not None else None
+    cells: List[AblationCell] = []
+    if sim_engine() == "batch":
+        # one job per (routine, variant): its configs share one pass
+        grouped: Dict[Tuple[str, str], List[str]] = {}
+        for routine in (routines or DEFAULT_ROUTINES):
+            for config_name, (variant, _) in CONFIGS.items():
+                grouped.setdefault((routine, variant), []).append(config_name)
+        batch_items = [(routine, variant, tuple(names))
+                       for (routine, variant), names in grouped.items()]
+        batch_job = functools.partial(
+            _ablation_batch_job, machine=machine,
+            cache_root=cache_root, cache_version=cache_version)
+        for _, (group_cells, payload) in run_jobs(batch_job, batch_items,
+                                                  jobs=jobs):
+            cells.extend(group_cells)
+            if stats is not None:
+                stats.merge_job(payload)
+        return AblationResult(cells)
     items = [(routine, config_name)
              for routine in (routines or DEFAULT_ROUTINES)
              for config_name in CONFIGS]
     job = functools.partial(
         _ablation_job, machine=machine,
-        cache_root=artifacts.root if artifacts is not None else None,
-        cache_version=artifacts.version if artifacts is not None else None)
-    cells: List[AblationCell] = []
+        cache_root=cache_root, cache_version=cache_version)
     for _, (cell, payload) in run_jobs(job, items, jobs=jobs):
         cells.append(cell)
         if stats is not None:

@@ -58,11 +58,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="CCM size in bytes for table2 (default 512)")
     parser.add_argument("--routines", type=str, default="",
                         help="comma-separated routine subset")
-    parser.add_argument("--sim-engine", choices=("predecode", "interp"),
+    parser.add_argument("--sim-engine",
+                        choices=("predecode", "interp", "batch"),
                         default=None,
                         help="simulator execution engine: 'predecode' "
-                             "(closure-compiled; default) or 'interp' "
-                             "(the reference oracle). Exported to worker "
+                             "(closure-compiled; default), 'batch' "
+                             "(one shared pass per group of identical "
+                             "compiled programs), or 'interp' (the "
+                             "reference oracle). Exported to worker "
                              "processes via REPRO_SIM_ENGINE.")
     parser.add_argument("--regalloc-engine",
                         choices=("chaitin", "ssa", "ssa-everywhere"),

@@ -856,25 +856,14 @@ class _Engine:
         return dfn
 
 
-def run_predecode(sim, entry: Optional[str] = None,
-                  args: List = ()) -> RunResult:
-    """Execute ``sim.program`` with the pre-decoding engine.
-
-    Mutates the simulator's persistent state (``memory``, ``ccm``,
-    ``phys``, cache statistics, the pipelined-load scoreboard) exactly
-    like the interpreter, so repeated and mixed runs observe the same
-    machine.
-    """
-    program = sim.program
-    entry = entry or program.entry_name
-    fn = program.functions[entry]
-    if len(args) != len(fn.params):
-        raise SimulationError(
-            f"{entry} expects {len(fn.params)} args, got {len(args)}")
-    machine = sim.machine
-
+def _prepare_engine(sim, machine) -> "_Engine":
+    """An :class:`_Engine` sharing ``sim``'s persistent machine state,
+    with the simulator's dict-backed physical file materialized as a
+    flat list (+ overflow).  ``machine`` is the decode-time machine —
+    normally ``sim.machine``, but the batch engine substitutes the
+    batch's canonical machine."""
     eng = _Engine()
-    eng.program = program
+    eng.program = sim.program
     eng.machine = machine
     eng.memory = sim.memory
     eng.ccm = sim.ccm
@@ -891,7 +880,6 @@ def run_predecode(sim, entry: Optional[str] = None,
     eng.calls = 0
     eng.max_ccm = -1
 
-    # materialize the interpreter's dict file as a flat list (+ overflow)
     n_flat = 2 * max(machine.n_int_regs, machine.n_float_regs)
     phys: List = [_UNDEF] * n_flat
     extra = _ExtraRegs()
@@ -903,6 +891,37 @@ def run_predecode(sim, entry: Optional[str] = None,
             extra[slot] = value
     eng.phys = phys
     eng.phys_extra = extra
+    return eng
+
+
+def _writeback_phys(sim, eng: "_Engine") -> None:
+    """Write the flat physical file back into the simulator's dict."""
+    for slot, v in enumerate(eng.phys):
+        if v is not _UNDEF:
+            sim.phys[PhysReg(slot >> 1, RegClass.FLOAT if slot & 1
+                             else RegClass.INT)] = v
+    for slot, v in eng.phys_extra.items():
+        sim.phys[PhysReg(slot >> 1, RegClass.FLOAT if slot & 1
+                         else RegClass.INT)] = v
+
+
+def run_predecode(sim, entry: Optional[str] = None,
+                  args: List = ()) -> RunResult:
+    """Execute ``sim.program`` with the pre-decoding engine.
+
+    Mutates the simulator's persistent state (``memory``, ``ccm``,
+    ``phys``, cache statistics, the pipelined-load scoreboard) exactly
+    like the interpreter, so repeated and mixed runs observe the same
+    machine.
+    """
+    program = sim.program
+    entry = entry or program.entry_name
+    fn = program.functions[entry]
+    if len(args) != len(fn.params):
+        raise SimulationError(
+            f"{entry} expects {len(fn.params)} args, got {len(args)}")
+    machine = sim.machine
+    eng = _prepare_engine(sim, machine)
 
     dfn = decode_function(fn, machine, eng.has_cache)
     eng.decoded[entry] = dfn
@@ -922,14 +941,7 @@ def run_predecode(sim, entry: Optional[str] = None,
             value, n = _loop_fast(eng, dfn, args, fuel, poison, counts)
             stall = 0
     finally:
-        # write the flat physical file back into the simulator's dict
-        for slot, v in enumerate(phys):
-            if v is not _UNDEF:
-                sim.phys[PhysReg(slot >> 1, RegClass.FLOAT if slot & 1
-                                 else RegClass.INT)] = v
-        for slot, v in extra.items():
-            sim.phys[PhysReg(slot >> 1, RegClass.FLOAT if slot & 1
-                             else RegClass.INT)] = v
+        _writeback_phys(sim, eng)
 
     stats = RunStats()
     stats.instructions = n

@@ -36,14 +36,17 @@ STACK_BASE = 0x8000_0000
 
 # -- engine selection ----------------------------------------------------------
 #
-# Two execution engines produce bit-identical results (the fuzz
-# equivalence suite enforces it): "predecode" compiles each function
+# Three execution engines produce bit-identical results (the fuzz
+# equivalence suites enforce it): "predecode" compiles each function
 # once into specialized closures (repro.machine.predecode) and is the
-# default; "interp" is this module's reference interpreter, retained as
-# the oracle the fast engine is differentially tested against — the
-# same pattern as REPRO_LIVENESS_ENGINE for the dataflow engines.
+# default; "batch" amortizes the predecode dispatch cost across many
+# machine configurations at once (repro.machine.batch; a lone Simulator
+# under it runs as a batch of one); "interp" is this module's reference
+# interpreter, retained as the oracle the fast engines are
+# differentially tested against — the same pattern as
+# REPRO_LIVENESS_ENGINE for the dataflow engines.
 
-_VALID_SIM_ENGINES = ("predecode", "interp")
+_VALID_SIM_ENGINES = ("predecode", "interp", "batch")
 
 _sim_engine = os.environ.get("REPRO_SIM_ENGINE", "predecode")
 
@@ -271,6 +274,9 @@ class Simulator:
         if self.engine == "predecode":
             from .predecode import run_predecode
             return run_predecode(self, entry, args)
+        if self.engine == "batch":
+            from .batch import run_batch_single
+            return run_batch_single(self, entry, args)
         return self._run_interp(entry, args)
 
     def _run_interp(self, entry: Optional[str] = None,

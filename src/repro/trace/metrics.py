@@ -23,6 +23,13 @@ METRIC_PREFIXES = (
     "frontend.", "opt.", "ssa.", "regalloc.", "ccm.", "schedule.", "sim.",
 )
 
+#: counter prefixes that depend on *how* a run executed, not on the
+#: compiled code: the batch engine's grouping/fan-out counters (and the
+#: predecode decode-cache counters) vary with engine selection and
+#: batch composition, so pinning them would make the baseline gate fail
+#: on engine changes that leave compile quality untouched
+ENGINE_PREFIXES = ("sim.batch.", "sim.decode.")
+
 #: span names are timing, not compile quality — never baselined
 _EXCLUDED = ("wall", "time")
 
@@ -30,7 +37,8 @@ _EXCLUDED = ("wall", "time")
 def _flatten_counters(counters: Dict[str, float]) -> Dict[str, float]:
     metrics: Dict[str, float] = {}
     for name, value in counters.items():
-        if not name.startswith(METRIC_PREFIXES):
+        if not name.startswith(METRIC_PREFIXES) \
+                or name.startswith(ENGINE_PREFIXES):
             continue
         metrics[name] = int(value) if float(value).is_integer() else value
     return metrics
