@@ -1,7 +1,7 @@
 """Program analyses: CFG, dominators, liveness, loops, SSA, call graph."""
 
 from .bitset import BitLiveness, DenseIndex, compute_liveness_masks, iter_bits
-from .callgraph import CallGraph
+from .callgraph import CallGraph, tarjan_sccs
 from .cfg import CFG, remove_unreachable_blocks, split_critical_edges
 from .chordal import (adjacency_of, find_perfect_elimination_order,
                       is_chordal, is_perfect_elimination_order,
@@ -18,6 +18,7 @@ from .ssa import build_ssa, destroy_ssa, is_ssa
 
 __all__ = [
     "AnalysisManager", "BitLiveness", "CallGraph", "CFG", "DenseIndex",
+    "tarjan_sccs",
     "remove_unreachable_blocks", "split_critical_edges", "DefUse",
     "DominatorTree", "LivenessInfo", "compute_liveness",
     "compute_liveness_masks", "iter_bits", "liveness_engine",

@@ -9,9 +9,74 @@ cycle is marked as using the whole CCM.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Mapping, Set
 
 from ..ir import Opcode, Program
+
+
+def tarjan_sccs(adjacency: Mapping[str, Iterable[str]]) -> List[List[str]]:
+    """Strongly connected components of an adjacency map, in reverse
+    topological order (successors before predecessors).
+
+    The traversal is over ``sorted`` keys and ``sorted`` successor lists,
+    so the result — component membership, member order inside each
+    component, and component order — is independent of dict insertion
+    order and of ``PYTHONHASHSEED``.  Edges to nodes absent from
+    ``adjacency`` are ignored (calls to unknown functions).
+
+    This is the graph-level core of :meth:`CallGraph.sccs`; the
+    whole-program compilation driver (:mod:`repro.exec.wholeprog`) uses
+    it directly on declared call edges, before any function is built.
+    """
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(adjacency[root])))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in adjacency:
+                    continue  # edge to an unknown node
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adjacency[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                result.append(comp)
+
+    for name in sorted(adjacency):
+        if name not in index_of:
+            strongconnect(name)
+    return result
 
 
 class CallGraph:
@@ -38,55 +103,7 @@ class CallGraph:
         """Strongly connected components in reverse topological order
         (callees before callers), so iterating the result visits the call
         graph bottom-up."""
-        index_of: Dict[str, int] = {}
-        lowlink: Dict[str, int] = {}
-        on_stack: Set[str] = set()
-        stack: List[str] = []
-        result: List[List[str]] = []
-        counter = [0]
-
-        def strongconnect(root: str) -> None:
-            work = [(root, iter(sorted(self.callees[root])))]
-            index_of[root] = lowlink[root] = counter[0]
-            counter[0] += 1
-            stack.append(root)
-            on_stack.add(root)
-            while work:
-                node, children = work[-1]
-                advanced = False
-                for child in children:
-                    if child not in self.callees:
-                        continue  # call to unknown function
-                    if child not in index_of:
-                        index_of[child] = lowlink[child] = counter[0]
-                        counter[0] += 1
-                        stack.append(child)
-                        on_stack.add(child)
-                        work.append((child, iter(sorted(self.callees[child]))))
-                        advanced = True
-                        break
-                    if child in on_stack:
-                        lowlink[node] = min(lowlink[node], index_of[child])
-                if advanced:
-                    continue
-                work.pop()
-                if work:
-                    parent = work[-1][0]
-                    lowlink[parent] = min(lowlink[parent], lowlink[node])
-                if lowlink[node] == index_of[node]:
-                    comp = []
-                    while True:
-                        member = stack.pop()
-                        on_stack.discard(member)
-                        comp.append(member)
-                        if member == node:
-                            break
-                    result.append(comp)
-
-        for name in sorted(self.program.functions):
-            if name not in index_of:
-                strongconnect(name)
-        return result
+        return tarjan_sccs(self.callees)
 
     def recursive_functions(self) -> Set[str]:
         """Functions in a call-graph cycle (including self-recursion)."""

@@ -43,8 +43,19 @@ class FunctionPromotion:
     promoted: List[SpillWeb] = field(default_factory=list)
     heavyweight: List[SpillWeb] = field(default_factory=list)
     offsets: Dict[int, int] = field(default_factory=dict)
+    #: the function's *own* CCM occupancy: highest placed byte, exactly
+    #: :attr:`ccm_bytes_used`.  Never conflated with the conservative
+    #: recursion mark — a cycle member with two promoted webs reports
+    #: its real (small) occupancy here.
     high_water: int = 0
     recursive: bool = False
+    #: what callers see in the bottom-up walk: ``max(own, nested)`` for
+    #: acyclic functions, the whole CCM for members of call-graph
+    #: cycles.  ``reported_high_water == ccm_bytes`` with ``recursive``
+    #: set means "conservatively marked full", which aggregated tables
+    #: must report distinctly from a procedure that genuinely filled
+    #: the CCM with its own webs.
+    reported_high_water: int = 0
 
     @property
     def ccm_bytes_used(self) -> int:
@@ -52,6 +63,12 @@ class FunctionPromotion:
             return 0
         by_id = {w.web_id: w for w in self.promoted}
         return max(off + by_id[wid].size for wid, off in self.offsets.items())
+
+    @property
+    def conservatively_full(self) -> bool:
+        """True when the reported mark is the recursion fallback, not a
+        measurement of this function's own promoted webs."""
+        return self.recursive and self.reported_high_water > self.high_water
 
 
 @dataclass
@@ -69,6 +86,18 @@ class PromotionReport:
     @property
     def total_heavyweight(self) -> int:
         return sum(len(f.heavyweight) for f in self.functions.values())
+
+    @property
+    def conservatively_full(self) -> List[str]:
+        """Cycle members whose reported mark is the recursion fallback."""
+        return [name for name, f in self.functions.items()
+                if f.conservatively_full]
+
+    @property
+    def genuinely_full(self) -> List[str]:
+        """Functions whose *own* promoted webs reach the CCM limit."""
+        return [name for name, f in self.functions.items()
+                if f.high_water >= self.ccm_bytes]
 
 
 def promote_function(fn: Function, ccm_bytes: int,
@@ -200,6 +229,7 @@ def promote_spills_postpass(program: Program, machine: MachineConfig,
             promotion = promote_function(fn, machine.ccm_bytes,
                                          callee_high_water=None,
                                          manager=manager)
+            promotion.reported_high_water = promotion.high_water
             fn.ccm_high_water = promotion.high_water
             report.functions[name] = promotion
             finish(fn, manager)
@@ -224,6 +254,7 @@ def promote_spills_postpass(program: Program, machine: MachineConfig,
             high_water[name] = machine.ccm_bytes
         else:
             high_water[name] = max(own, nested)
+        promotion.reported_high_water = high_water[name]
         fn.ccm_high_water = high_water[name]
         finish(fn, manager)
     return report

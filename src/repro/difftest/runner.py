@@ -682,6 +682,7 @@ def _seed_job(seed: int, configs: Sequence[DiffConfig],
         cache_hit=artifacts is not None and artifacts.hits > 0)
     if artifacts is not None:
         payload["cache_errors"] = artifacts.errors
+        payload["cache_stores"] = artifacts.stores
     if recorder is not None and recorder.events:
         payload["trace"] = recorder.to_payload()
     return result, payload

@@ -21,6 +21,10 @@ share:
 * :mod:`repro.exec.batching` — deterministic grouping of jobs into
   simulation batches for the batch engine (one architectural pass per
   group of configs that compile to identical code).
+* :mod:`repro.exec.wholeprog` — the SCC-partitioned whole-program
+  compilation driver: condense the call graph, schedule SCC waves onto
+  a persistent :class:`~repro.exec.pool.JobPool` callee-before-caller,
+  coalesce content-identical routine compiles, stream the results.
 
 :mod:`repro.exec.compare` holds the single value-comparison helper the
 harness verifier and the difftest oracle both use (they used to carry
@@ -31,13 +35,17 @@ and fail the other).
 from .artifacts import ArtifactCache, code_version, default_cache_dir
 from .batching import group_batches
 from .compare import FLOAT_RTOL, values_match
-from .pool import default_jobs, run_jobs
+from .pool import JobPool, default_jobs, run_jobs
 from .stats import StageClock, SweepStats
+from .wholeprog import (SccSchedule, WholeProgramReport,
+                        compile_whole_program, monolithic_report)
 
 __all__ = [
     "ArtifactCache", "code_version", "default_cache_dir",
     "group_batches",
     "FLOAT_RTOL", "values_match",
-    "default_jobs", "run_jobs",
+    "JobPool", "default_jobs", "run_jobs",
     "StageClock", "SweepStats",
+    "SccSchedule", "WholeProgramReport", "compile_whole_program",
+    "monolithic_report",
 ]

@@ -39,6 +39,8 @@ import shutil
 import tempfile
 from typing import Iterable, Optional, Tuple
 
+from ..trace import trace_counter
+
 _MISS = object()
 
 #: bump to invalidate every cache entry on pickle-layout changes
@@ -118,6 +120,7 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.errors = 0          # corrupt entries recovered as misses
+        self.stores = 0          # entries written by put()
 
     # -- keys -----------------------------------------------------------------
 
@@ -142,18 +145,22 @@ class ArtifactCache:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            trace_counter("artifact.miss", 1)
             return False, None
         except Exception:
             # truncated write, unpicklable garbage, permission change:
             # recover by dropping the entry and recompiling
             self.errors += 1
             self.misses += 1
+            trace_counter("artifact.error", 1)
+            trace_counter("artifact.miss", 1)
             try:
                 os.remove(path)
             except OSError:
                 pass
             return False, None
         self.hits += 1
+        trace_counter("artifact.hit", 1)
         return True, value
 
     def put(self, key: str, value: object) -> None:
@@ -165,6 +172,8 @@ class ArtifactCache:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+            self.stores += 1
+            trace_counter("artifact.store", 1)
         except BaseException:
             try:
                 os.remove(tmp)

@@ -16,9 +16,9 @@ plain result dataclasses (outcomes + statistics), never live
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Iterator, Optional, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
-__all__ = ["default_jobs", "run_jobs"]
+__all__ = ["JobPool", "default_jobs", "run_jobs"]
 
 
 def default_jobs() -> int:
@@ -66,3 +66,86 @@ def run_jobs(fn: Callable, items: Iterable, jobs: int = 1,
         finally:
             for future in futures:
                 future.cancel()
+
+
+class _DoneFuture:
+    """Serial-mode stand-in for ``concurrent.futures.Future``: the job
+    already ran inline at submit time."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, value=None, error: Optional[BaseException] = None):
+        self._value = value
+        self._error = error
+
+    def result(self):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def done(self) -> bool:
+        return True
+
+    def cancel(self) -> bool:
+        return False
+
+
+class JobPool:
+    """A persistent worker pool for dependency-driven job graphs.
+
+    :func:`run_jobs` is the right engine for one flat batch; schedulers
+    that release work incrementally — the SCC-wave whole-program driver,
+    where a caller's job cannot be built until its callees' high-water
+    marks exist — need to keep one pool alive across many small submit
+    rounds instead of paying executor start-up per round.
+
+    ``jobs <= 1`` (or a host without working multiprocessing) runs every
+    job inline at :meth:`submit` and returns an already-completed
+    future, so the scheduling loop above is identical in both modes and
+    the serial path stays the deterministic reference.
+    """
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = max(jobs, 1)
+        self._pool = None
+        if self.jobs > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except (ImportError, OSError, ValueError):
+                self._pool = None  # degrade to the serial path
+
+    @property
+    def serial(self) -> bool:
+        return self._pool is None
+
+    def submit(self, fn: Callable, *args):
+        if self._pool is None:
+            try:
+                return _DoneFuture(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - mirrors Future
+                return _DoneFuture(error=exc)
+        return self._pool.submit(fn, *args)
+
+    def wait_any(self, futures: Iterable) -> List:
+        """Block until at least one future completes; returns the done
+        set as a list.  Serial-mode futures are always done."""
+        futures = list(futures)
+        done = [f for f in futures if f.done()]
+        if done or not futures:
+            return done
+        from concurrent.futures import FIRST_COMPLETED, wait
+        result = wait(futures, return_when=FIRST_COMPLETED)
+        return list(result.done)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "JobPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False

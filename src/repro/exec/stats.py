@@ -93,6 +93,7 @@ class SweepStats:
     jobs_executed: int = 0       # jobs that actually compiled+simulated
     cache_hits: int = 0          # jobs served from the artifact cache
     cache_errors: int = 0        # corrupt/unreadable entries recovered
+    cache_stores: int = 0        # artifact-cache entries written
     wall_s: float = 0.0          # whole-sweep wall clock (parent)
     stages: Dict[str, StageStat] = field(default_factory=dict)
     #: trace counters summed across every traced job (``--trace``); a
@@ -116,6 +117,7 @@ class SweepStats:
         else:
             self.jobs_executed += 1
         self.cache_errors += payload.get("cache_errors", 0)
+        self.cache_stores += payload.get("cache_stores", 0)
         for name, (calls, wall_s, cpu_s) in payload.get("stages", {}).items():
             self.stages.setdefault(name, StageStat()).add(wall_s, cpu_s,
                                                           calls)
@@ -157,6 +159,7 @@ class SweepStats:
                 "hits": self.cache_hits,
                 "misses": self.jobs_executed,
                 "errors": self.cache_errors,
+                "stores": self.cache_stores,
                 "hit_rate": round(self.cache_hit_rate, 4),
             },
             "wall_s": round(self.wall_s, 3),

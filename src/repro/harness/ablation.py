@@ -134,6 +134,7 @@ def _ablation_job(item: Tuple[str, str], machine: MachineConfig,
         if hit:
             payload = clock.to_payload(cache_hit=True)
             payload["cache_errors"] = artifacts.errors
+            payload["cache_stores"] = artifacts.stores
             return cached, payload
     with clock.stage("compile"):
         compile_program(prog, machine, variant)
@@ -149,6 +150,7 @@ def _ablation_job(item: Tuple[str, str], machine: MachineConfig,
     payload = clock.to_payload(cache_hit=False)
     if artifacts is not None:
         payload["cache_errors"] = artifacts.errors
+        payload["cache_stores"] = artifacts.stores
     return cell, payload
 
 
@@ -209,6 +211,7 @@ def _ablation_batch_job(item: Tuple[str, str, Tuple[str, ...]],
     payload = clock.to_payload(cache_hit=not missing)
     if artifacts is not None:
         payload["cache_errors"] = artifacts.errors
+        payload["cache_stores"] = artifacts.stores
     return [cells[name] for name in config_names], payload
 
 

@@ -11,6 +11,7 @@ Usage::
     python -m repro.harness ablation
     python -m repro.harness all
     python -m repro.harness difftest [--seeds N] [--budget S] ...
+    python -m repro.harness --whole-program [--routines N] [-j N] ...
 
 Every sweep target accepts ``--jobs N`` / ``-j N`` (default: all
 cores) to fan compile+simulate jobs out over worker processes, and
@@ -45,6 +46,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "difftest":
         from ..difftest.cli import main as difftest_main
         return difftest_main(argv[1:])
+    if "--whole-program" in argv:
+        from ..exec.wholeprog import cli_main as wholeprog_main
+        return wholeprog_main([a for a in argv if a != "--whole-program"])
 
     parser = argparse.ArgumentParser(
         prog="ccm-harness",

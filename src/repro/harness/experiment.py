@@ -169,6 +169,7 @@ def _variant_job_inner(workload, variant, machine, build, verify_values,
         if hit:
             payload = clock.to_payload(cache_hit=True)
             payload["cache_errors"] = artifacts.errors
+            payload["cache_stores"] = artifacts.stores
             return cached, payload, reference
         if reference is None and verify_values:
             ref_hit, ref_cached = artifacts.get(ref_key)
@@ -200,6 +201,7 @@ def _variant_job_inner(workload, variant, machine, build, verify_values,
     payload = clock.to_payload(cache_hit=False)
     if artifacts is not None:
         payload["cache_errors"] = artifacts.errors
+        payload["cache_stores"] = artifacts.stores
     return result, payload, reference
 
 

@@ -1,5 +1,8 @@
-"""Workloads: the 59-routine suite and the Figure-3/4 programs."""
+"""Workloads: the 59-routine suite, the Figure-3/4 programs, and
+application-shaped whole programs (:mod:`repro.workloads.appgen`)."""
 
+from .appgen import (AppProfile, Application, RoutineSpec,
+                     generate_application, iter_units)
 from .generator import (ARRAY_LEN, N_ARRAYS, RoutineProfile,
                         generate_kernel_source, generate_program_source,
                         generate_routine_source)
@@ -8,6 +11,8 @@ from .programs import (PROGRAM_ROUTINES, build_program, program_names,
 from .suite import build_routine, routine_profile, routine_source, suite_names
 
 __all__ = [
+    "AppProfile", "Application", "RoutineSpec", "generate_application",
+    "iter_units",
     "ARRAY_LEN", "N_ARRAYS", "RoutineProfile", "generate_kernel_source",
     "generate_program_source", "generate_routine_source",
     "PROGRAM_ROUTINES", "build_program", "program_names", "program_source",

@@ -1,0 +1,292 @@
+"""Generator of application-shaped whole programs.
+
+The paper's suite is 59 routines compiled one at a time; a production
+compiler sees *applications* — thousands of routines in a deep,
+partially-shared call graph.  This module grows the synthetic-workload
+generator to that shape.  A generated application has four routine
+populations, all drawn deterministically from one seed:
+
+* **shared kernels** (``k_0000`` ...) — leaf routines with bigger
+  pressure profiles and high fan-in: the "hot shared kernels" every
+  layer of the application calls into.
+* **clone families** — groups of routines instantiated from one body
+  template (same statements, same callees; only the function name
+  differs).  Generated and template-expanded code looks exactly like
+  this, and it is what makes content-addressed compilation coalescing
+  pay: one compile per family serves every member.
+* **unique routines** — individually-seeded bodies with individually
+  drawn call edges; diamonds and shared leaves arise naturally.
+* **recursive groups** — 1-3 member call-graph cycles (self loops and
+  mutual recursion), the conservative whole-CCM case of the paper's
+  interprocedural post-pass allocator.
+
+Every routine has the uniform signature ``(n: int): float``, so a
+routine can be compiled *alone* in a unit that declares its direct
+callees as stub functions with the same signature: MFL lowering needs
+only callee signatures, and every later pipeline stage is
+per-function, so the unit-compiled routine is bit-identical to the
+same routine compiled inside the monolithic program
+(:meth:`Application.whole_source`).  The whole-program driver
+(:mod:`repro.exec.wholeprog`) builds on exactly that property.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from .generator import ARRAY_LEN, N_ARRAYS, RoutineProfile, \
+    generate_kernel_source
+
+#: uniform signature of every application routine (and of callee stubs)
+SIGNATURE = "(n: int): float"
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Shape of one generated application."""
+
+    n_routines: int = 200
+    seed: int = 0
+    levels: int = 0           # call-graph depth; 0 = scale with size
+    max_fanout: int = 3       # direct callees per routine
+    kernel_share: float = 0.02
+    family_share: float = 0.72
+    recursion_share: float = 0.06
+    family_size: int = 24     # average members per clone family
+
+    def resolved_levels(self) -> int:
+        if self.levels:
+            return max(2, self.levels)
+        n = max(self.n_routines, 2)
+        return max(3, min(12, 2 + int(math.log2(n))))
+
+
+@dataclass(frozen=True)
+class RoutineSpec:
+    """One routine of a generated application."""
+
+    name: str
+    source: str                  # the routine's func text alone
+    callees: Tuple[str, ...]     # direct call edges (deduplicated)
+    level: int                   # distance class from the kernel layer
+    family: int = -1             # clone-family id, -1 for non-members
+    recursive: bool = False      # member of a generated cycle
+
+
+def _app_globals() -> str:
+    """The shared data tables, uninitialized (applications are compiled,
+    not simulated — and a 10k-routine unit header must stay tiny)."""
+    lines = [f"global D{a}: float[{ARRAY_LEN}]" for a in range(N_ARRAYS)]
+    lines.append(f"global OUT: float[{N_ARRAYS}]")
+    return "\n".join(lines)
+
+
+def _stub(name: str) -> str:
+    return f"func {name}{SIGNATURE} {{ return 0.0 }}"
+
+
+def _rename(source: str, old: str, new: str) -> str:
+    return re.sub(rf"\b{re.escape(old)}\b", new, source)
+
+
+class Application:
+    """A generated whole program: routines, call edges, unit sources."""
+
+    def __init__(self, profile: AppProfile, globals_text: str,
+                 routines: Dict[str, RoutineSpec]):
+        self.profile = profile
+        self.globals_text = globals_text
+        self.routines = routines
+
+    def adjacency(self) -> Dict[str, Tuple[str, ...]]:
+        """Declared call edges, the input to SCC condensation."""
+        return {name: spec.callees for name, spec in self.routines.items()}
+
+    def roots(self) -> List[str]:
+        """Routines no other routine calls (the driver's entry points)."""
+        called = {c for spec in self.routines.values() for c in spec.callees}
+        return sorted(name for name in self.routines if name not in called)
+
+    def unit_source(self, name: str) -> str:
+        """A self-contained compile unit for one routine: globals, one
+        stub per direct callee, then the routine itself."""
+        spec = self.routines[name]
+        stubs = [_stub(c) for c in sorted(set(spec.callees)) if c != name]
+        return "\n".join([self.globals_text, *stubs, spec.source])
+
+    def normalized_unit_source(self, name: str) -> str:
+        """The unit source with the routine's own name replaced by a
+        fixed token.  Promotion results (web ids, offsets, high-water
+        marks) never depend on the function's name, so this is the
+        content-address under which clone-family members share one
+        artifact-cache entry and one in-run compile."""
+        return _rename(self.unit_source(name), name, "__SELF__")
+
+    def whole_source(self) -> str:
+        """The monolithic program (globals, every routine, a ``main``
+        driving the roots) — the input the classical one-``Program``
+        bottom-up walk compiles.  Intended for cross-checking at small
+        scale; at 10k routines this string is the thing the
+        whole-program driver exists to avoid building."""
+        parts = [self.globals_text]
+        parts.extend(spec.source for _, spec in sorted(self.routines.items()))
+        body = ["func main(): float {", "  var total: float = 0.0"]
+        for i, root in enumerate(self.roots()):
+            body.append(f"  total = total + {root}({3 + i % 3}) * 0.0625")
+        body += ["  OUT[0] = total", "  return total", "}"]
+        parts.append("\n".join(body))
+        return "\n".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.routines)
+
+
+# -- construction --------------------------------------------------------------
+
+def _kernel_profile(name: str, rng: random.Random) -> RoutineProfile:
+    return RoutineProfile(
+        name=name, held=rng.randint(4, 6), stages=2,
+        width=rng.randint(10, 14), int_width=3,
+        depth=rng.randint(1, 2), iters=rng.randint(20, 40))
+
+
+def _body_shape(rng: random.Random) -> dict:
+    return dict(held=rng.randint(2, 4), stages=rng.randint(1, 2),
+                width=rng.randint(5, 8), int_width=rng.randint(2, 3),
+                depth=rng.randint(1, 2), iters=rng.randint(10, 30))
+
+
+def _pick_callees(rng: random.Random, fanout: int, kernels: List[str],
+                  lower: List[str]) -> Tuple[str, ...]:
+    """Up to ``fanout`` distinct callees, biased toward the shared
+    kernels (that bias is what produces the high fan-in hot leaves)."""
+    picks: List[str] = []
+    for _ in range(fanout):
+        pool = kernels if (rng.random() < 0.5 or not lower) else lower
+        choice = pool[rng.randrange(len(pool))]
+        if choice not in picks:
+            picks.append(choice)
+    return tuple(picks)
+
+
+def generate_application(profile: AppProfile) -> Application:
+    """Build the application deterministically from ``profile.seed``."""
+    rng = random.Random(profile.seed ^ 0x5CC0FFEE)
+    n = profile.n_routines
+    if n < 2:
+        raise ValueError("an application needs at least 2 routines")
+    levels = profile.resolved_levels()
+
+    n_kernels = max(1, round(n * profile.kernel_share))
+    n_recursive = min(round(n * profile.recursion_share), n - n_kernels)
+    n_members = min(round(n * profile.family_share),
+                    n - n_kernels - n_recursive)
+    n_unique = n - n_kernels - n_recursive - n_members
+    n_families = max(1, round(n_members / max(profile.family_size, 1)))
+
+    specs: Dict[str, RoutineSpec] = {}
+    by_level: Dict[int, List[str]] = {lv: [] for lv in range(levels)}
+
+    def lower_pool(level: int) -> Tuple[List[str], List[str]]:
+        kernels = list(by_level[0])
+        lower = [m for lv in range(1, level) for m in by_level[lv]]
+        return kernels, lower
+
+    # kernels: the level-0 shared leaves
+    kernel_names = [f"k_{i:04d}" for i in range(n_kernels)]
+    for name in kernel_names:
+        specs[name] = RoutineSpec(
+            name=name,
+            source=generate_kernel_source(_kernel_profile(name, rng)),
+            callees=(), level=0)
+        by_level[0].append(name)
+
+    serial = 0
+
+    def next_name() -> str:
+        nonlocal serial
+        name = f"r_{serial:04d}"
+        serial += 1
+        return name
+
+    # assign names and levels first so callee pools span all lower levels
+    def draw_level() -> int:
+        return rng.randint(1, levels - 1)
+
+    family_levels = [draw_level() for _ in range(n_families)]
+    family_members: List[List[str]] = [[] for _ in range(n_families)]
+    for i in range(n_members):
+        fid = i % n_families
+        name = next_name()
+        family_members[fid].append(name)
+        by_level[family_levels[fid]].append(name)
+    unique_names = [next_name() for _ in range(n_unique)]
+    unique_levels = [draw_level() for _ in unique_names]
+    for name, lv in zip(unique_names, unique_levels):
+        by_level[lv].append(name)
+    rec_names = [next_name() for _ in range(n_recursive)]
+    rec_groups: List[List[str]] = []
+    cursor = 0
+    while cursor < len(rec_names):
+        size = min(rng.randint(1, 3), len(rec_names) - cursor)
+        rec_groups.append(rec_names[cursor:cursor + size])
+        cursor += size
+    rec_group_levels = [draw_level() for _ in rec_groups]
+    for group, lv in zip(rec_groups, rec_group_levels):
+        by_level[lv].extend(group)
+
+    # clone families: one template body, members differ only by name
+    for fid, members in enumerate(family_members):
+        if not members:
+            continue
+        kernels, lower = lower_pool(family_levels[fid])
+        callees = _pick_callees(rng, rng.randint(1, profile.max_fanout),
+                                kernels, lower)
+        template_name = f"ftpl{fid:04d}"
+        template = generate_kernel_source(RoutineProfile(
+            name=template_name, callees=callees,
+            shape_seed=rng.getrandbits(32), **_body_shape(rng)))
+        for name in members:
+            specs[name] = RoutineSpec(
+                name=name, source=_rename(template, template_name, name),
+                callees=callees, level=family_levels[fid], family=fid)
+
+    # unique routines: individually drawn bodies and edges
+    for name, lv in zip(unique_names, unique_levels):
+        kernels, lower = lower_pool(lv)
+        callees = (() if rng.random() < 0.15 else
+                   _pick_callees(rng, rng.randint(1, profile.max_fanout),
+                                 kernels, lower))
+        specs[name] = RoutineSpec(
+            name=name,
+            source=generate_kernel_source(RoutineProfile(
+                name=name, callees=callees, **_body_shape(rng))),
+            callees=callees, level=lv)
+
+    # recursive groups: a cycle over the group, plus normal down-edges
+    for group, lv in zip(rec_groups, rec_group_levels):
+        for i, name in enumerate(group):
+            partner = group[(i + 1) % len(group)]  # self-loop when size 1
+            kernels, lower = lower_pool(lv)
+            down = (_pick_callees(rng, 1, kernels, lower)
+                    if rng.random() < 0.5 else ())
+            specs[name] = RoutineSpec(
+                name=name,
+                source=generate_kernel_source(RoutineProfile(
+                    name=name, callees=down,
+                    recursive_callees=(partner,), **_body_shape(rng))),
+                callees=tuple(dict.fromkeys(down + (partner,))),
+                level=lv, recursive=True)
+
+    ordered = {name: specs[name] for name in sorted(specs)}
+    return Application(profile, _app_globals(), ordered)
+
+
+def iter_units(app: Application) -> Iterator[Tuple[str, str]]:
+    """(name, unit source) pairs in name order."""
+    for name in app.routines:
+        yield name, app.unit_source(name)

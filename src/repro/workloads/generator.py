@@ -30,7 +30,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 #: shared data tables, COMMON-block style; strictly positive values so
 #: division is always safe
@@ -51,9 +51,23 @@ class RoutineProfile:
     iters: int = 40          # innermost trip count (total, across nest)
     calls: str = "none"      # "none" | "leaf" | "chain"
     unroll: int = 1          # body replication (the paper's X routines)
+    #: application-shaped call edges: named routines (same uniform
+    #: ``(n: int): float`` signature) called from the loop body, so
+    #: held values stay live across the calls.  Orthogonal to ``calls``
+    #: (the h_leaf/h_mid helpers of the paper-suite routines).
+    callees: Tuple[str, ...] = ()
+    #: cycle edges: guarded ``if (n > 1)`` calls emitted after the loop
+    #: but before the held-value combine, so long-lived values are live
+    #: across calls into the routine's own SCC.
+    recursive_callees: Tuple[str, ...] = ()
+    #: seed override so clone-family members share one body shape; the
+    #: default (None) seeds from the routine name.
+    shape_seed: Optional[int] = None
 
     @property
     def seed(self) -> int:
+        if self.shape_seed is not None:
+            return self.shape_seed
         return zlib.crc32(self.name.encode())
 
 
@@ -168,6 +182,12 @@ class _KernelEmitter:
         for _ in loop_vars:
             self.indent -= 1
             self.line("}")
+        for callee in p.recursive_callees:
+            # guarded cycle edge; acc and every held value are live
+            # across the call (the combine below reads them), so the
+            # conservative whole-CCM rule for recursive SCCs matters
+            self.line(f"if (n > 1) {{ acc = acc * 0.5 + "
+                      f"{callee}(n - 1) * 0.25 }}")
         if p.held:
             # final combine keeps every held value live across the whole
             # loop nest (otherwise DCE would delete the unsampled ones)
@@ -213,6 +233,13 @@ class _KernelEmitter:
                 callee = "h_mid" if p.calls == "chain" else "h_leaf"
                 # acc and every stage temp stay live across the call
                 self.line(f"acc = {callee}(acc * 0.0009765625, {ivar})")
+            for j, callee in enumerate(p.callees):
+                if j % p.stages != s:
+                    continue
+                arg = (idx_names[j % len(idx_names)] if idx_names
+                       else f"{ivar} + {j}")
+                # stage temps and held values stay live across the call
+                self.line(f"acc = acc + {callee}({arg}) * 0.25")
             # combine in a shuffled order so the temps stay live until here
             order = list(range(p.width))
             rng.shuffle(order)

@@ -1,0 +1,110 @@
+"""The application generator: determinism, shape, and the unit-compile
+property the whole-program driver builds on."""
+
+import pytest
+
+from repro.analysis import CallGraph, tarjan_sccs
+from repro.frontend import compile_source
+from repro.workloads import AppProfile, generate_application, iter_units
+from repro.workloads.appgen import SIGNATURE
+
+
+def small_app(n=40, seed=11, **kw):
+    return generate_application(AppProfile(n_routines=n, seed=seed, **kw))
+
+
+class TestDeterminism:
+    def test_same_profile_same_application(self):
+        a = small_app()
+        b = small_app()
+        assert a.adjacency() == b.adjacency()
+        assert {n: s.source for n, s in a.routines.items()} == \
+               {n: s.source for n, s in b.routines.items()}
+        assert a.whole_source() == b.whole_source()
+
+    def test_different_seed_different_application(self):
+        assert small_app(seed=1).whole_source() != \
+               small_app(seed=2).whole_source()
+
+    def test_routine_order_is_sorted(self):
+        app = small_app()
+        assert list(app.routines) == sorted(app.routines)
+
+
+class TestShape:
+    def test_population_shares(self):
+        app = small_app(n=200)
+        kernels = [n for n in app.routines if n.startswith("k_")]
+        families = {}
+        for name, spec in app.routines.items():
+            if spec.family >= 0:
+                families.setdefault(spec.family, []).append(name)
+        recursive = [n for n, s in app.routines.items() if s.recursive]
+        assert len(app) == 200
+        assert kernels and all(not app.routines[k].callees for k in kernels)
+        assert sum(len(m) for m in families.values()) >= 100
+        assert all(len(m) > 1 for m in families.values())
+        assert recursive
+
+    def test_edges_point_strictly_downward_except_cycles(self):
+        app = small_app(n=80)
+        for name, spec in app.routines.items():
+            for callee in spec.callees:
+                if spec.recursive and app.routines[callee].recursive:
+                    continue  # the generated cycle edges
+                assert app.routines[callee].level < spec.level, \
+                    f"{name} (level {spec.level}) -> {callee}"
+
+    def test_recursive_groups_form_sccs(self):
+        app = small_app(n=120, seed=5)
+        cyclic = {name for comp in tarjan_sccs(app.adjacency())
+                  for name in comp
+                  if len(comp) > 1
+                  or name in app.adjacency()[name]}
+        declared = {n for n, s in app.routines.items() if s.recursive}
+        assert cyclic == declared and declared
+
+    def test_clone_family_members_share_body_shape(self):
+        app = small_app(n=120)
+        spec = next(s for s in app.routines.values() if s.family >= 0)
+        siblings = [s for s in app.routines.values()
+                    if s.family == spec.family]
+        normalized = {app.normalized_unit_source(s.name) for s in siblings}
+        assert len(siblings) > 1 and len(normalized) == 1
+
+    def test_roots_are_uncalled(self):
+        app = small_app()
+        called = {c for s in app.routines.values() for c in s.callees}
+        roots = app.roots()
+        assert roots and not (set(roots) & called)
+
+
+class TestUnitCompile:
+    def test_every_unit_compiles_alone(self):
+        app = small_app(n=30, seed=3)
+        for name, unit in iter_units(app):
+            prog = compile_source(unit, name=name)
+            assert name in prog.functions
+
+    def test_unit_contains_stubs_for_all_callees(self):
+        app = small_app(n=30, seed=3)
+        name = next(n for n, s in app.routines.items() if s.callees)
+        unit = app.unit_source(name)
+        for callee in app.routines[name].callees:
+            if callee != name:
+                assert f"func {callee}{SIGNATURE}" in unit
+
+    def test_whole_source_compiles_with_declared_call_graph(self):
+        app = small_app(n=25, seed=9)
+        prog = compile_source(app.whole_source(), name="app")
+        assert "main" in prog.functions
+        graph = CallGraph(prog)
+        for name, spec in app.routines.items():
+            # every declared edge survives as a real call site
+            assert set(spec.callees) <= set(graph.callees[name])
+
+
+class TestValidation:
+    def test_rejects_tiny_applications(self):
+        with pytest.raises(ValueError):
+            generate_application(AppProfile(n_routines=1))
