@@ -1,0 +1,128 @@
+"""Compile-service throughput: warm daemon vs. the cold one-shot CLI.
+
+Measures what the ``repro.serve`` daemon actually buys.  The one-shot
+path pays interpreter start-up, package import, cache-handle and pool
+construction on *every* sweep; the daemon pays them once and afterwards
+serves repeat requests from its in-memory single-flight memo (and, past
+the memo horizon, the shared artifact cache) without forking anything.
+Capture a machine-readable snapshot with::
+
+    pytest benchmarks/test_serve_throughput.py \
+        --benchmark-json=BENCH_serve.json
+
+``TestServeSpeedupGate`` is the CI threshold and the PR's acceptance
+criterion: a warm-server repeat of a 25-seed difftest sweep must beat
+the cold one-shot CLI run of the same sweep by ``SERVE_SPEEDUP_FLOOR``.
+The gate compares wall-clock *ratios* on the same host, so it is
+machine-independent; on a single-core runner the whole ratio comes from
+warm caches and the resident process, with pool parallelism stacking on
+top elsewhere.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import ReproServer, wait_for_server
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: the acceptance sweep: 25 seeds over a 2-size lattice
+N_SEEDS = 25
+CCM_SIZES = (0, 64)
+
+#: floor on (cold one-shot CLI wall) / (warm served wall); measured
+#: well above 100x on a single core (the warm path is a memo lookup
+#: per seed, the cold path a full interpreter + compile run)
+SERVE_SPEEDUP_FLOOR = 5.0
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ReproServer(socket_path=str(tmp_path / "serve.sock"), jobs=1,
+                      cache_dir=str(tmp_path / "cache"))
+    thread = srv.start()
+    client = wait_for_server(socket_path=srv.address, timeout=30)
+    yield srv, client
+    client.close()
+    srv.stop()
+    thread.join(10)
+
+
+def test_serve_warm_sweep_throughput(benchmark, server):
+    """Requests/sec for fully-warm sweep requests (the steady state of
+    an edit-compile-test loop whose inputs mostly repeat)."""
+    _srv, client = server
+    seeds = list(range(N_SEEDS))
+    cold = client.sweep(seeds, ccm_sizes=CCM_SIZES)   # populate the memo
+    assert cold["serve"]["executed"] == N_SEEDS
+
+    def warm_sweep():
+        return client.sweep(seeds, ccm_sizes=CCM_SIZES)
+
+    result = benchmark.pedantic(warm_sweep, rounds=10, iterations=1)
+    assert result["serve"]["warm_rate"] == 1.0
+    wall = benchmark.stats["mean"]
+    benchmark.extra_info["requests_per_sec"] = round(1.0 / wall, 1)
+    benchmark.extra_info["seeds_per_sec"] = round(N_SEEDS / wall, 1)
+    benchmark.extra_info["n_seeds"] = N_SEEDS
+
+
+def test_serve_ping_round_trips(benchmark, server):
+    """Protocol floor: round-trips/sec for the cheapest request."""
+    _srv, client = server
+
+    def ping():
+        return client.ping()
+
+    result = benchmark.pedantic(ping, rounds=5, iterations=50)
+    assert result["protocol"] == 1
+    benchmark.extra_info["round_trips_per_sec"] = round(
+        1.0 / benchmark.stats["mean"], 1)
+
+
+class TestServeSpeedupGate:
+    """CI gate: warm server >= SERVE_SPEEDUP_FLOOR x the cold CLI."""
+
+    def test_warm_repeat_beats_cold_one_shot(self, tmp_path):
+        seeds = list(range(N_SEEDS))
+        ccm = ",".join(str(s) for s in CCM_SIZES)
+
+        # cold one-shot: a fresh interpreter, an empty cache directory
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "one-shot-cache")
+        start = time.perf_counter()
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "difftest",
+             "--seeds", str(N_SEEDS), "--ccm", ccm, "-j", "1"],
+            env=env, capture_output=True, text=True, timeout=1200)
+        cold_wall = time.perf_counter() - start
+        assert out.returncode == 0, out.stderr
+
+        # warm server: same sweep, second submission
+        srv = ReproServer(socket_path=str(tmp_path / "serve.sock"),
+                          jobs=1, cache_dir=str(tmp_path / "serve-cache"))
+        thread = srv.start()
+        try:
+            with wait_for_server(socket_path=srv.address,
+                                 timeout=30) as client:
+                first = client.sweep(seeds, ccm_sizes=CCM_SIZES)
+                assert first["report"]["n_divergences"] == 0
+                start = time.perf_counter()
+                warm = client.sweep(seeds, ccm_sizes=CCM_SIZES)
+                warm_wall = time.perf_counter() - start
+        finally:
+            srv.stop()
+            thread.join(10)
+
+        assert warm["serve"]["warm_rate"] == 1.0
+        assert warm["report"]["n_divergences"] == 0
+        speedup = cold_wall / max(warm_wall, 1e-9)
+        assert speedup >= SERVE_SPEEDUP_FLOOR, (
+            f"warm-server speedup {speedup:.1f}x < {SERVE_SPEEDUP_FLOOR}x "
+            f"floor (cold one-shot {cold_wall:.2f}s vs warm served "
+            f"{warm_wall:.3f}s for {N_SEEDS} seeds)")

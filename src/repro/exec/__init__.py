@@ -32,7 +32,8 @@ two copies with different float tolerances — a program could pass one
 and fail the other).
 """
 
-from .artifacts import ArtifactCache, code_version, default_cache_dir
+from .artifacts import (ArtifactCache, code_version, default_cache_budget,
+                        default_cache_dir, parse_bytes)
 from .batching import group_batches
 from .compare import FLOAT_RTOL, values_match
 from .pool import JobPool, default_jobs, run_jobs
@@ -41,7 +42,8 @@ from .wholeprog import (SccSchedule, WholeProgramReport,
                         compile_whole_program, monolithic_report)
 
 __all__ = [
-    "ArtifactCache", "code_version", "default_cache_dir",
+    "ArtifactCache", "code_version", "default_cache_budget",
+    "default_cache_dir", "parse_bytes",
     "group_batches",
     "FLOAT_RTOL", "values_match",
     "JobPool", "default_jobs", "run_jobs",

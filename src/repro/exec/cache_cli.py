@@ -1,0 +1,103 @@
+"""``python -m repro cache`` — inspect and manage the artifact store.
+
+The content-addressed cache under ``--cache-dir`` (default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ccm``) is shared by every
+sweep CLI and by the ``repro.serve`` daemon; this command is the
+operator's view of it::
+
+    python -m repro cache stats                  # entries, bytes, shards
+    python -m repro cache stats --json -         # machine-readable
+    python -m repro cache evict --budget 256M    # LRU-evict down to 256 MB
+    python -m repro cache evict                  # down to $REPRO_CACHE_BUDGET
+    python -m repro cache clear                  # drop every entry
+
+``evict`` without ``--budget`` uses the configured budget
+(``$REPRO_CACHE_BUDGET``); with neither it is an error — an unbounded
+cache has nothing to evict to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .artifacts import ArtifactCache, default_cache_dir, parse_bytes
+
+
+def _format_bytes(n: Optional[int]) -> str:
+    if n is None:
+        return "unbounded"
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{n} B"
+        value /= 1024
+    return f"{n} B"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect and manage the on-disk artifact cache")
+    parser.add_argument("action", choices=("stats", "evict", "clear"))
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="artifact cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-ccm)")
+    parser.add_argument("--budget", metavar="BYTES", default=None,
+                        help="size budget for 'evict' (accepts K/M/G "
+                             "suffixes; default: $REPRO_CACHE_BUDGET)")
+    parser.add_argument("--json", metavar="PATH", nargs="?", const="-",
+                        default=None,
+                        help="write the result as JSON to PATH ('-' for "
+                             "stdout)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    budget = parse_bytes(args.budget) if args.budget is not None else None
+    cache = ArtifactCache(args.cache_dir or default_cache_dir(),
+                          version="cli", budget_bytes=budget)
+
+    if args.action == "clear":
+        before = cache.stats()
+        cache.clear()
+        payload = {"cleared": before["entries"],
+                   "freed_bytes": before["total_bytes"]}
+        message = (f"cleared {payload['cleared']} entries "
+                   f"({_format_bytes(payload['freed_bytes'])}) "
+                   f"from {cache.root}")
+    elif args.action == "evict":
+        if cache.budget_bytes is None:
+            print("repro cache evict: no budget configured "
+                  "(--budget BYTES or $REPRO_CACHE_BUDGET)",
+                  file=sys.stderr)
+            return 2
+        removed = cache.evict()
+        payload = {"evicted": removed, **cache.stats()}
+        message = (f"evicted {removed} entries; {payload['entries']} "
+                   f"remain ({_format_bytes(payload['total_bytes'])} of "
+                   f"{_format_bytes(payload['budget_bytes'])} budget)")
+    else:
+        payload = cache.stats()
+        message = (f"{payload['root']}: {payload['entries']} entries, "
+                   f"{_format_bytes(payload['total_bytes'])} across "
+                   f"{payload['shards']} shards (budget "
+                   f"{_format_bytes(payload['budget_bytes'])})")
+
+    if args.json == "-":
+        print(json.dumps(payload, indent=2))
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(message)
+    else:
+        print(message)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

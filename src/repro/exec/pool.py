@@ -11,14 +11,26 @@ module-level functions (or ``functools.partial`` over one) taking
 picklable arguments and returning picklable results.  Jobs here return
 plain result dataclasses (outcomes + statistics), never live
 ``Program`` objects.
+
+Teardown is bounded everywhere: :meth:`JobPool.close` cancels pending
+work, gives running jobs a drain window, then terminates stragglers —
+a Ctrl-C'd sweep or a SIGTERM'd ``repro.serve`` daemon never orphans
+worker processes.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["JobPool", "default_jobs", "run_jobs"]
+
+#: default drain window for :meth:`JobPool.close`: long enough for any
+#: sane job to finish its current item, short enough that Ctrl-C feels
+#: like Ctrl-C
+DRAIN_TIMEOUT_S = 5.0
 
 
 def default_jobs() -> int:
@@ -37,7 +49,10 @@ def run_jobs(fn: Callable, items: Iterable, jobs: int = 1,
     stop a sweep early without tearing down mid-job.
 
     A job that raises propagates its exception at the point the item
-    would have been yielded, in both modes.
+    would have been yielded, in both modes.  Teardown — normal exit,
+    early stop, or an exception in the consumer (Ctrl-C included) —
+    goes through :meth:`JobPool.close`, so abandoned workers are
+    drained within a bounded window, never orphaned.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
@@ -47,25 +62,21 @@ def run_jobs(fn: Callable, items: Iterable, jobs: int = 1,
             yield item, fn(item)
         return
 
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
-    except (ImportError, OSError, ValueError):
+    pool = JobPool(jobs=min(jobs, len(items)))
+    if pool.serial:
         # hosts without working multiprocessing (restricted /dev/shm,
         # missing semaphores) degrade to the serial path
         yield from run_jobs(fn, items, jobs=1, stop_when=stop_when)
         return
 
-    with pool:
+    try:
         futures = [pool.submit(fn, item) for item in items]
-        try:
-            for item, future in zip(items, futures):
-                if stop_when is not None and stop_when():
-                    return
-                yield item, future.result()
-        finally:
-            for future in futures:
-                future.cancel()
+        for item, future in zip(items, futures):
+            if stop_when is not None and stop_when():
+                return
+            yield item, future.result()
+    finally:
+        pool.close()
 
 
 class _DoneFuture:
@@ -78,7 +89,7 @@ class _DoneFuture:
         self._value = value
         self._error = error
 
-    def result(self):
+    def result(self, timeout=None):
         if self._error is not None:
             raise self._error
         return self._value
@@ -89,6 +100,9 @@ class _DoneFuture:
     def cancel(self) -> bool:
         return False
 
+    def add_done_callback(self, fn) -> None:
+        fn(self)
+
 
 class JobPool:
     """A persistent worker pool for dependency-driven job graphs.
@@ -96,8 +110,10 @@ class JobPool:
     :func:`run_jobs` is the right engine for one flat batch; schedulers
     that release work incrementally — the SCC-wave whole-program driver,
     where a caller's job cannot be built until its callees' high-water
-    marks exist — need to keep one pool alive across many small submit
-    rounds instead of paying executor start-up per round.
+    marks exist, and the ``repro.serve`` daemon, which multiplexes every
+    request onto one long-lived pool — need to keep one pool alive
+    across many small submit rounds instead of paying executor start-up
+    per round.
 
     ``jobs <= 1`` (or a host without working multiprocessing) runs every
     job inline at :meth:`submit` and returns an already-completed
@@ -108,6 +124,8 @@ class JobPool:
     def __init__(self, jobs: int = 1):
         self.jobs = max(jobs, 1)
         self._pool = None
+        self._lock = threading.Lock()
+        self._outstanding: set = set()
         if self.jobs > 1:
             try:
                 from concurrent.futures import ProcessPoolExecutor
@@ -125,7 +143,15 @@ class JobPool:
                 return _DoneFuture(fn(*args))
             except BaseException as exc:  # noqa: BLE001 - mirrors Future
                 return _DoneFuture(error=exc)
-        return self._pool.submit(fn, *args)
+        future = self._pool.submit(fn, *args)
+        with self._lock:
+            self._outstanding.add(future)
+        future.add_done_callback(self._retire)
+        return future
+
+    def _retire(self, future) -> None:
+        with self._lock:
+            self._outstanding.discard(future)
 
     def wait_any(self, futures: Iterable) -> List:
         """Block until at least one future completes; returns the done
@@ -138,14 +164,66 @@ class JobPool:
         result = wait(futures, return_when=FIRST_COMPLETED)
         return list(result.done)
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait up to ``timeout`` seconds for every outstanding future;
+        True when nothing is left in flight."""
+        with self._lock:
+            pending = [f for f in self._outstanding if not f.done()]
+        if not pending:
+            return True
+        from concurrent.futures import wait
+        result = wait(pending, timeout=timeout)
+        return not result.not_done
+
+    def close(self, timeout: Optional[float] = DRAIN_TIMEOUT_S) -> bool:
+        """Graceful bounded shutdown: cancel pending work, give running
+        jobs ``timeout`` seconds to drain, terminate whatever remains.
+
+        Returns True for a clean drain, False when stragglers had to be
+        terminated.  Idempotent; after close the pool degrades to the
+        serial inline path (a late :meth:`submit` still works, it just
+        runs in-process).  This is the SIGTERM/Ctrl-C path: the worker
+        processes are *always* reaped, never orphaned.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return True
+        with self._lock:
+            pending = list(self._outstanding)
+            self._outstanding.clear()
+        for future in pending:
+            future.cancel()
+        # snapshot the worker processes BEFORE shutdown: the executor
+        # drops its _processes reference during shutdown(wait=False)
+        procs = getattr(pool, "_processes", None)
+        processes = list(procs.values()) if procs else []
+        pool.shutdown(wait=False, cancel_futures=True)
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        clean = True
+        for proc in processes:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            proc.join(remaining)
+            if proc.is_alive():
+                clean = False
+                proc.terminate()
+        for proc in processes:
+            if not proc.is_alive():
+                continue
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+        return clean
+
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        """Backwards-compatible alias for :meth:`close`."""
+        self.close()
 
     def __enter__(self) -> "JobPool":
         return self
 
     def __exit__(self, *exc) -> bool:
-        self.shutdown()
+        self.close()
         return False

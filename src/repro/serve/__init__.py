@@ -1,0 +1,30 @@
+"""Compilation as a service: a persistent daemon with warm caches.
+
+Every one-shot CLI invocation pays the same taxes — interpreter and
+import start-up, artifact-cache handle construction, pool spin-up —
+and forgets every in-memory result when it exits.  This package keeps
+all of that warm in one resident process:
+
+* :mod:`repro.serve.server` — the daemon: a threaded socket server
+  multiplexing compile / simulate / difftest-sweep / whole-program
+  requests onto one persistent :class:`~repro.exec.JobPool` and one
+  shared :class:`~repro.exec.ArtifactCache`;
+* :mod:`repro.serve.scheduler` — content-addressed single-flight
+  request coalescing: N concurrent identical submissions execute once
+  and fan out, finished results replay from a bounded memo;
+* :mod:`repro.serve.protocol` — the newline-delimited JSON wire format
+  over a Unix socket (default) or localhost TCP;
+* :mod:`repro.serve.client` — the blocking client and the
+  ``python -m repro serve`` CLI (:mod:`repro.serve.cli`).
+"""
+
+from .client import ServeClient, ServeError, wait_for_server
+from .protocol import PROTOCOL_VERSION, default_socket_path
+from .scheduler import RequestScheduler
+from .server import ReproServer
+
+__all__ = [
+    "ServeClient", "ServeError", "wait_for_server",
+    "PROTOCOL_VERSION", "default_socket_path",
+    "RequestScheduler", "ReproServer",
+]

@@ -1,0 +1,184 @@
+"""``python -m repro serve`` — run the daemon, or talk to one.
+
+Server mode (the default, foreground; Ctrl-C / SIGTERM stop it)::
+
+    python -m repro serve [--socket PATH | --tcp [HOST:]PORT]
+                          [--jobs N] [--cache-dir DIR]
+                          [--cache-budget BYTES] [--memo N]
+
+Client mode (one connection, one request, JSON on stdout)::
+
+    python -m repro serve ping       [--socket PATH]
+    python -m repro serve stats      [--socket PATH]
+    python -m repro serve sweep      --seeds N [--start K] [--ccm-sizes ...]
+    python -m repro serve run        FILE [--variant V] [--ccm N] [--args ...]
+    python -m repro serve wholeprog  [--routines N] [--seed K] [--ccm N]
+    python -m repro serve cache      [stats|evict|clear] [--budget BYTES]
+    python -m repro serve shutdown   [--socket PATH]
+
+The socket defaults to ``$REPRO_SERVE_SOCKET`` or ``serve.sock`` in the
+artifact-cache directory, so a server and its clients agree without any
+flags as long as they share ``$REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+from typing import List, Optional
+
+from ..exec.artifacts import parse_bytes
+from .client import ServeClient, ServeError
+from .protocol import default_socket_path
+from .server import ReproServer
+
+CLIENT_COMMANDS = ("ping", "stats", "sweep", "run", "wholeprog", "cache",
+                   "shutdown")
+
+
+def _add_socket_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", default=None,
+                        help="server socket path (default: "
+                             "$REPRO_SERVE_SOCKET or serve.sock in the "
+                             "cache dir)")
+
+
+def _serve(args: argparse.Namespace) -> int:
+    host = port = None
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        host = host or "127.0.0.1"
+        port = int(port_text)
+    budget = parse_bytes(args.cache_budget) if args.cache_budget else None
+    server = ReproServer(socket_path=args.socket, host=host,
+                         port=port or 0, jobs=args.jobs,
+                         cache_dir=args.cache_dir, cache_budget=budget,
+                         memo_size=args.memo)
+    server.listen()
+
+    def _stop(signum, frame):
+        server.stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(f"repro serve: listening on {server.address} "
+          f"(jobs={args.jobs}, cache={server.artifacts.root})",
+          file=sys.stderr, flush=True)
+    server.serve_forever()
+    print("repro serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _client(args: argparse.Namespace) -> ServeClient:
+    return ServeClient(socket_path=args.socket)
+
+
+def _emit(payload: dict) -> None:
+    json.dump(payload, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="compilation-as-a-service daemon and client")
+    sub = parser.add_subparsers(dest="command")
+
+    start = sub.add_parser("start", help="run the daemon (default)")
+    _add_socket_arg(start)
+    start.add_argument("--tcp", default=None, metavar="[HOST:]PORT",
+                       help="listen on localhost TCP instead of the "
+                            "Unix socket")
+    start.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for the shared pool")
+    start.add_argument("--cache-dir", default=None,
+                       help="artifact cache root (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-ccm)")
+    start.add_argument("--cache-budget", default=None,
+                       help="artifact store size budget, e.g. 256M")
+    start.add_argument("--memo", type=int, default=512,
+                       help="in-memory result-memo entries")
+
+    for name in ("ping", "stats", "shutdown"):
+        cmd = sub.add_parser(name)
+        _add_socket_arg(cmd)
+
+    sweep = sub.add_parser("sweep", help="difftest seed sweep")
+    _add_socket_arg(sweep)
+    sweep.add_argument("--seeds", type=int, default=10,
+                       help="number of seeds")
+    sweep.add_argument("--start", type=int, default=0,
+                       help="first seed")
+    sweep.add_argument("--ccm-sizes", type=int, nargs="*", default=None)
+    sweep.add_argument("--geometry", default="small")
+
+    run = sub.add_parser("run", help="compile and simulate one file")
+    _add_socket_arg(run)
+    run.add_argument("file")
+    run.add_argument("--variant", default="baseline")
+    run.add_argument("--ccm", type=int, default=512)
+    run.add_argument("--args", nargs="*", default=[])
+
+    whole = sub.add_parser("wholeprog", help="whole-program compile")
+    _add_socket_arg(whole)
+    whole.add_argument("--routines", type=int, default=200)
+    whole.add_argument("--seed", type=int, default=0)
+    whole.add_argument("--ccm", type=int, default=512)
+
+    cache = sub.add_parser("cache", help="remote artifact-store control")
+    _add_socket_arg(cache)
+    cache.add_argument("action", nargs="?", default="stats",
+                       choices=["stats", "evict", "clear"])
+    cache.add_argument("--budget", default=None,
+                       help="byte budget for evict, e.g. 64M")
+
+    if not argv:
+        argv = ["start"]
+    elif argv[0] not in CLIENT_COMMANDS and argv[0] != "start" \
+            and argv[0].startswith("-"):
+        argv = ["start"] + argv
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "start"):
+        return _serve(args)
+
+    try:
+        with _client(args) as client:
+            if args.command == "ping":
+                _emit(client.ping())
+            elif args.command == "stats":
+                _emit(client.stats())
+            elif args.command == "shutdown":
+                _emit(client.shutdown())
+            elif args.command == "sweep":
+                seeds = range(args.start, args.start + args.seeds)
+                _emit(client.sweep(seeds, ccm_sizes=args.ccm_sizes,
+                                   geometry=args.geometry))
+            elif args.command == "run":
+                with open(args.file) as handle:
+                    source = handle.read()
+                _emit(client.run(source, variant=args.variant,
+                                 ccm=args.ccm,
+                                 args=[float(a) for a in args.args]))
+            elif args.command == "wholeprog":
+                _emit(client.wholeprog(routines=args.routines,
+                                       seed=args.seed, ccm=args.ccm))
+            elif args.command == "cache":
+                budget = parse_bytes(args.budget) if args.budget else None
+                _emit(client.cache(args.action, budget=budget))
+    except OSError as exc:
+        print(f"repro serve: cannot reach server at "
+              f"{args.socket or default_socket_path()}: {exc}",
+              file=sys.stderr)
+        return 1
+    except ServeError as exc:
+        print(f"repro serve: server error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

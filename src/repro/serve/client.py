@@ -1,0 +1,141 @@
+"""Client side of the compile service.
+
+:class:`ServeClient` is a thin blocking wrapper over one connection:
+one :meth:`request` call sends one framed message and waits for its
+response.  Clients are cheap — the expensive state all lives in the
+server — so the one-shot CLI subcommands each open a fresh connection,
+while tests and benchmarks that hammer the server reuse one.
+
+Thread-safety: a single client serializes its requests with a lock, so
+it may be shared between threads, but coalescing benchmarks that need
+genuinely concurrent *in-flight* requests should open one client per
+thread.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Optional
+
+from .protocol import (ProtocolError, default_socket_path, read_message,
+                       write_message)
+
+__all__ = ["ServeClient", "ServeError", "wait_for_server"]
+
+
+class ServeError(Exception):
+    """The server answered ``ok: false``; the message is its error."""
+
+
+class ServeClient:
+    """One connection to a running :class:`~repro.serve.ReproServer`."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: Optional[str] = None, port: Optional[int] = None,
+                 timeout: Optional[float] = 600.0):
+        if host is not None:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            path = socket_path or default_socket_path()
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(path)
+        self._sock = sock
+        self._stream = sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one request; returns the result dict or raises
+        :class:`ServeError` with the server's error message."""
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            message = {"id": request_id, "op": op}
+            message.update(fields)
+            write_message(self._stream, message)
+            response = read_message(self._stream)
+        if response is None:
+            raise ServeError("server closed the connection")
+        if response.get("id") not in (request_id, None):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} for request "
+                f"{request_id}")
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response.get("result", {})
+
+    # -- one helper per operation ---------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def run(self, source: str, variant: str = "baseline", ccm: int = 512,
+            args: Optional[list] = None) -> dict:
+        return self.request("run", source=source, variant=variant, ccm=ccm,
+                            args=list(args or []))
+
+    def sweep(self, seeds, ccm_sizes=None, geometry: str = "small") -> dict:
+        fields = {"seeds": list(seeds), "geometry": geometry}
+        if ccm_sizes is not None:
+            fields["ccm_sizes"] = list(ccm_sizes)
+        return self.request("sweep", **fields)
+
+    def wholeprog(self, routines: int = 200, seed: int = 0,
+                  ccm: int = 512) -> dict:
+        return self.request("wholeprog", routines=routines, seed=seed,
+                            ccm=ccm)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def cache(self, action: str = "stats",
+              budget: Optional[int] = None) -> dict:
+        fields = {"action": action}
+        if budget is not None:
+            fields["budget"] = budget
+        return self.request("cache", **fields)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def wait_for_server(socket_path: Optional[str] = None,
+                    host: Optional[str] = None, port: Optional[int] = None,
+                    timeout: float = 10.0,
+                    interval: float = 0.05) -> ServeClient:
+    """Poll until a server answers ``ping``; returns a connected client.
+
+    The startup race is real: the CI smoke job launches the daemon in
+    the background and must not fire requests before the socket exists.
+    """
+    deadline = time.monotonic() + timeout
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            client = ServeClient(socket_path=socket_path, host=host,
+                                 port=port)
+            client.ping()
+            return client
+        except (OSError, ServeError, ProtocolError) as exc:
+            last = exc
+            time.sleep(interval)
+    raise TimeoutError(f"no server within {timeout}s: {last}")

@@ -1,0 +1,82 @@
+"""The wire protocol of the compile service: newline-delimited JSON.
+
+One request and one response per line, over a Unix-domain socket (the
+default) or localhost TCP.  The framing is deliberately primitive —
+``json.dumps`` with compact separators never emits a raw newline, so a
+line is always exactly one message — because every interesting property
+of the service (coalescing, caching, warm pools) lives behind the
+protocol, not in it.
+
+Request::
+
+    {"id": 7, "op": "sweep", "seeds": [0, 1, 2], ...}
+
+Response::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": "ValueError: ..."}
+
+``id`` is caller-chosen and echoed verbatim; a client that pipelines
+requests on one connection matches responses by it (the server answers
+a connection's requests in order).  Unknown ``op`` values and malformed
+lines produce ``ok: false`` responses; a malformed line additionally
+ends the connection, since framing can no longer be trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from ..exec import default_cache_dir
+
+#: protocol revision, echoed by ``ping``; bump on incompatible changes
+PROTOCOL_VERSION = 1
+
+#: every operation the server dispatches
+OPS = ("ping", "run", "sweep", "wholeprog", "stats", "cache", "shutdown")
+
+
+class ProtocolError(Exception):
+    """A malformed frame: not JSON, or not a JSON object."""
+
+
+def default_socket_path() -> str:
+    """Default Unix-socket path: ``$REPRO_SERVE_SOCKET``, else
+    ``serve.sock`` inside the artifact-cache directory (both sides of
+    the protocol already agree on that directory)."""
+    env = os.environ.get("REPRO_SERVE_SOCKET")
+    if env:
+        return env
+    return os.path.join(default_cache_dir(), "serve.sock")
+
+
+def write_message(stream, message: dict) -> None:
+    """Frame and send one message; flushes so the peer can respond."""
+    data = json.dumps(message, separators=(",", ":"))
+    stream.write(data.encode("utf-8") + b"\n")
+    stream.flush()
+
+
+def read_message(stream) -> Optional[dict]:
+    """Read one framed message; None on a clean EOF."""
+    line = stream.readline()
+    if not line:
+        return None
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def error_response(request_id, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def ok_response(request_id, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}

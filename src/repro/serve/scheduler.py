@@ -1,0 +1,179 @@
+"""Single-flight request scheduling for the compile service.
+
+Every job the daemon runs is content-addressed (the same key scheme as
+:class:`repro.exec.ArtifactCache`), which makes three levels of reuse
+possible, checked in order:
+
+* **memo** — the job finished earlier in this server's lifetime; its
+  result is returned instantly from a bounded in-memory table.
+* **coalesced** — an identical job is in flight right now; the caller
+  is attached to the existing future instead of submitting a second
+  copy.  N concurrent identical submissions run the job exactly once
+  and fan the result out N ways.
+* **executed** — genuinely new work, submitted to the shared
+  :class:`~repro.exec.pool.JobPool`.
+
+The scheduler is the *only* synchronization point between connection
+threads: the inflight and memo tables are consulted and updated under
+one lock, and the proxy future for a new job is registered **before**
+the job is handed to the pool — on a serial pool the job runs inline
+during ``submit``, so a proxy registered after would leave a window
+where a concurrent identical request re-executes.
+
+Failures are never memoized: an exception fans out to every coalesced
+waiter of that flight, but the next submission of the same key runs
+fresh.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Callable, Dict, Tuple
+
+from ..trace import trace_counter
+
+__all__ = ["RequestScheduler"]
+
+#: submission statuses, in the order the scheduler checks for them
+STATUSES = ("memo", "coalesced", "executed")
+
+
+class RequestScheduler:
+    """Coalesces content-addressed jobs onto one shared pool.
+
+    ``pool`` is any object with ``submit(fn, *args) -> future`` whose
+    futures support ``add_done_callback`` — both pool modes of
+    :class:`~repro.exec.pool.JobPool` qualify (the serial
+    ``_DoneFuture`` invokes the callback immediately).
+    """
+
+    def __init__(self, pool, memo_size: int = 512):
+        self.pool = pool
+        self.memo_size = memo_size
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._memo: "OrderedDict[str, object]" = OrderedDict()
+        self.executed = 0
+        self.coalesced = 0
+        self.memo_hits = 0
+
+    # -- the async path (fan-out jobs: sweep seeds, run requests) -------------
+
+    def submit(self, key: str, fn: Callable, *args) -> Tuple[Future, str]:
+        """Schedule one job; returns ``(future, status)``.
+
+        The future resolves to the job's return value (or raises its
+        exception); ``status`` says how it was satisfied: ``"memo"``,
+        ``"coalesced"``, or ``"executed"``.
+        """
+        with self._lock:
+            if key in self._memo:
+                self._memo.move_to_end(key)
+                self.memo_hits += 1
+                done: Future = Future()
+                done.set_result(self._memo[key])
+                trace_counter("serve.memo", 1)
+                return done, "memo"
+            proxy = self._inflight.get(key)
+            if proxy is not None:
+                self.coalesced += 1
+                trace_counter("serve.coalesced", 1)
+                return proxy, "coalesced"
+            proxy = Future()
+            self._inflight[key] = proxy
+            self.executed += 1
+            trace_counter("serve.executed", 1)
+        # submit OUTSIDE the lock: a serial pool runs the job inline
+        # right here, and other keys must stay schedulable meanwhile
+        try:
+            real = self.pool.submit(fn, *args)
+        except BaseException as exc:
+            self._publish_error(key, proxy, exc)
+            raise
+        real.add_done_callback(lambda f: self._publish(key, proxy, f))
+        return proxy, "executed"
+
+    def _publish(self, key: str, proxy: Future, real) -> None:
+        """Transfer a finished pool future into its proxy and retire the
+        flight; successes enter the memo table, failures never do."""
+        try:
+            value = real.result()
+        except BaseException as exc:  # noqa: BLE001 - fan the error out
+            self._publish_error(key, proxy, exc)
+            return
+        with self._lock:
+            self._inflight.pop(key, None)
+            self._memo[key] = value
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+        proxy.set_result(value)
+
+    def _publish_error(self, key: str, proxy: Future,
+                       exc: BaseException) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
+        if not proxy.done():
+            proxy.set_exception(exc)
+
+    # -- the blocking path (request-granularity jobs: wholeprog) --------------
+
+    def call(self, key: str, run: Callable[[], object]
+             ) -> Tuple[object, str]:
+        """Single-flight a job that must run in the *calling* thread
+        (e.g. a whole-program compile that drives the pool itself).
+
+        The first caller of a key runs ``run()``; concurrent callers of
+        the same key block on its result.  Returns ``(value, status)``.
+        """
+        owner = False
+        with self._lock:
+            if key in self._memo:
+                self._memo.move_to_end(key)
+                self.memo_hits += 1
+                trace_counter("serve.memo", 1)
+                return self._memo[key], "memo"
+            proxy = self._inflight.get(key)
+            if proxy is not None:
+                self.coalesced += 1
+                trace_counter("serve.coalesced", 1)
+            else:
+                proxy = Future()
+                self._inflight[key] = proxy
+                self.executed += 1
+                trace_counter("serve.executed", 1)
+                owner = True
+        if not owner:
+            return proxy.result(), "coalesced"
+        try:
+            value = run()
+        except BaseException as exc:
+            self._publish_error(key, proxy, exc)
+            raise
+        with self._lock:
+            self._inflight.pop(key, None)
+            self._memo[key] = value
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+        proxy.set_result(value)
+        return value, "executed"
+
+    # -- reporting ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            total = self.executed + self.coalesced + self.memo_hits
+            return {
+                "executed": self.executed,
+                "coalesced": self.coalesced,
+                "memo_hits": self.memo_hits,
+                "inflight": len(self._inflight),
+                "memo_entries": len(self._memo),
+                "memo_size": self.memo_size,
+                "warm_rate": round(
+                    (self.coalesced + self.memo_hits) / total, 4)
+                if total else 0.0,
+            }

@@ -1,0 +1,396 @@
+"""The compile-service daemon: warm caches behind a socket.
+
+One :class:`ReproServer` owns the long-lived state every one-shot CLI
+invocation pays to rebuild — a persistent :class:`~repro.exec.JobPool`,
+a shared :class:`~repro.exec.ArtifactCache` handle, an installed
+:class:`~repro.trace.TraceRecorder`, and the in-memory single-flight
+tables of :class:`~repro.serve.scheduler.RequestScheduler` — and
+multiplexes every client request onto it.  Each accepted connection is
+served by its own thread; the scheduler is the only synchronization
+point between them, so concurrent identical requests coalesce onto one
+execution no matter which connections they arrive on.
+
+Operations (see :mod:`repro.serve.protocol` for framing):
+
+``ping``       liveness + protocol version + pid
+``run``        compile one MFL source under a variant and simulate it
+``sweep``      a difftest seed sweep over the config lattice
+``wholeprog``  SCC-wave whole-program compilation of a generated app
+``stats``      scheduler/cache/trace counters for this server lifetime
+``cache``      artifact-store stats / evict / clear, remotely
+``shutdown``   stop accepting, drain the pool, exit
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Optional, Sequence
+
+from ..exec import ArtifactCache, JobPool, SweepStats
+from ..trace import TraceRecorder, install
+from .protocol import (PROTOCOL_VERSION, ProtocolError, default_socket_path,
+                       error_response, ok_response, read_message,
+                       write_message)
+from .scheduler import RequestScheduler
+
+__all__ = ["ReproServer"]
+
+
+# -- module-level job functions (must pickle across the pool boundary) --------
+
+
+def _run_job(source: str, variant: str, ccm_bytes: int,
+             args: Sequence[float], cache_root: Optional[str],
+             cache_version: Optional[str], key: Optional[str]) -> dict:
+    """Compile one source under one variant and simulate it; the result
+    is a plain dict so it pickles and JSON-serializes as-is.  Consults
+    and updates the shared artifact cache around the work."""
+    artifacts = (ArtifactCache(cache_root, version=cache_version)
+                 if cache_root is not None else None)
+    if artifacts is not None and key is not None:
+        hit, value = artifacts.get(key)
+        if hit:
+            value = dict(value)
+            value["artifact_hit"] = True
+            return value
+    from ..frontend import compile_source
+    from ..harness.experiment import compile_program
+    from ..machine import MachineConfig, Simulator
+
+    program = compile_source(source)
+    machine = MachineConfig(ccm_bytes=ccm_bytes)
+    compile_program(program, machine, variant)
+    run = Simulator(program, machine, poison_caller_saved=True).run(
+        args=list(args))
+    stats = run.stats
+    result = {
+        "value": run.value,
+        "cycles": stats.cycles,
+        "memory_cycles": stats.memory_cycles,
+        "instructions": stats.instructions,
+        "spill_loads": stats.spill_loads,
+        "spill_stores": stats.spill_stores,
+        "ccm_loads": stats.ccm_loads,
+        "ccm_stores": stats.ccm_stores,
+        "artifact_hit": False,
+    }
+    if artifacts is not None and key is not None:
+        artifacts.put(key, result)
+    return result
+
+
+class ReproServer:
+    """A threaded compile server on a Unix socket (or localhost TCP).
+
+    ``jobs`` sizes the shared pool; ``jobs=1`` (the default, and the
+    right choice on a single-core host) runs every job inline — the
+    daemon's wins then come entirely from the warm caches and the
+    resident process, not parallelism.
+    """
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: Optional[str] = None, port: int = 0,
+                 jobs: int = 1, cache_dir: Optional[str] = None,
+                 cache_budget: Optional[int] = None,
+                 memo_size: int = 512):
+        self.artifacts = ArtifactCache(cache_dir, budget_bytes=cache_budget)
+        self.pool = JobPool(jobs=jobs)
+        self.scheduler = RequestScheduler(self.pool, memo_size=memo_size)
+        self.recorder = TraceRecorder()
+        self._host = host
+        self._port = port
+        self._socket_path = None if host is not None else (
+            socket_path or default_socket_path())
+        self._listener: Optional[socket.socket] = None
+        self._stopping = threading.Event()
+        self._threads: list = []
+        self._started = time.time()
+        self._requests = 0
+        self._requests_by_op: dict = {}
+        self._stats_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self):
+        """Where clients connect: a path (Unix) or ``(host, port)``."""
+        if self._socket_path is not None:
+            return self._socket_path
+        assert self._listener is not None, "server not listening yet"
+        return self._listener.getsockname()[:2]
+
+    def listen(self) -> None:
+        """Bind and listen; separate from :meth:`serve_forever` so tests
+        and the CLI can learn the address before serving."""
+        if self._listener is not None:
+            return
+        if self._socket_path is not None:
+            os.makedirs(os.path.dirname(self._socket_path) or ".",
+                        exist_ok=True)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                listener.bind(self._socket_path)
+            except OSError:
+                # a stale socket from a dead server; connect() failing
+                # proves no one is home, then the path is ours
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    probe.connect(self._socket_path)
+                except OSError:
+                    probe.close()
+                    os.unlink(self._socket_path)
+                    listener.bind(self._socket_path)
+                else:
+                    probe.close()
+                    listener.close()
+                    raise RuntimeError(
+                        f"another server is live on {self._socket_path}")
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+        listener.listen(16)
+        # a short accept timeout keeps the loop responsive to stop()
+        listener.settimeout(0.2)
+        self._listener = listener
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop`; the foreground mode."""
+        self.listen()
+        previous = install(self.recorder)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    conn, _addr = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break        # listener closed by stop()
+                thread = threading.Thread(target=self._serve_connection,
+                                          args=(conn,), daemon=True)
+                thread.start()
+                self._threads.append(thread)
+                self._threads = [t for t in self._threads if t.is_alive()]
+        finally:
+            install(previous)
+            self._teardown()
+
+    def start(self) -> threading.Thread:
+        """Serve on a background thread (the in-process test mode);
+        returns after the listener is bound, so :attr:`address` is
+        valid immediately."""
+        self.listen()
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Stop accepting and tear down; idempotent, signal-safe."""
+        self._stopping.set()
+
+    def _teardown(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            listener.close()
+        if self._socket_path is not None:
+            try:
+                os.unlink(self._socket_path)
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(1.0)
+        self.pool.close()
+
+    # -- connection handling --------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        stream = conn.makefile("rwb")
+        try:
+            while not self._stopping.is_set():
+                try:
+                    message = read_message(stream)
+                except ProtocolError as exc:
+                    write_message(stream, error_response(None, str(exc)))
+                    return       # framing is unrecoverable; drop the peer
+                except OSError:
+                    return
+                if message is None:
+                    return       # clean EOF
+                response = self._dispatch(message)
+                try:
+                    write_message(stream, response)
+                except OSError:
+                    return       # peer went away mid-response
+        finally:
+            try:
+                stream.close()
+            except OSError:
+                pass
+            conn.close()
+
+    def _dispatch(self, message: dict) -> dict:
+        request_id = message.get("id")
+        op = message.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) \
+            else None
+        if handler is None or (isinstance(op, str) and op.startswith("_")):
+            return error_response(request_id, f"unknown op: {op!r}")
+        with self._stats_lock:
+            self._requests += 1
+            self._requests_by_op[op] = self._requests_by_op.get(op, 0) + 1
+        try:
+            return ok_response(request_id, handler(message))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            detail = f"{type(exc).__name__}: {exc}"
+            if message.get("traceback"):
+                detail += "\n" + traceback.format_exc()
+            return error_response(request_id, detail)
+
+    # -- operations -----------------------------------------------------------
+
+    def _op_ping(self, message: dict) -> dict:
+        return {"protocol": PROTOCOL_VERSION, "pid": os.getpid(),
+                "uptime_s": round(time.time() - self._started, 3)}
+
+    def _op_run(self, message: dict) -> dict:
+        source = message["source"]
+        variant = message.get("variant", "baseline")
+        ccm = int(message.get("ccm", 512))
+        args = list(message.get("args", []))
+        key = self.artifacts.key(
+            source, f"serve-run:{variant}/ccm{ccm}/args:{args!r}")
+        future, status = self.scheduler.submit(
+            key, _run_job, source, variant, ccm, args,
+            self.artifacts.root, self.artifacts.version, key)
+        result = dict(future.result())
+        result["serve"] = {"status": status, "key": key[:16]}
+        return result
+
+    def _op_sweep(self, message: dict) -> dict:
+        from ..difftest.runner import (DEFAULT_CCM_SIZES, FuzzReport,
+                                       _lattice_descriptor, _seed_job,
+                                       config_lattice)
+        seeds = [int(s) for s in message["seeds"]]
+        ccm_sizes = tuple(int(s) for s in message.get(
+            "ccm_sizes", DEFAULT_CCM_SIZES))
+        geometry = message.get("geometry", "small")
+        configs = config_lattice(ccm_sizes, geometry)
+        descriptor = "serve-sweep:" + _lattice_descriptor(configs)
+
+        start = time.perf_counter()
+        stats = SweepStats(jobs=self.pool.jobs)
+        flights = []
+        for seed in seeds:
+            key = self.artifacts.key(f"seed:{seed}", descriptor)
+            future, status = self.scheduler.submit(
+                key, _seed_job, seed, configs,
+                self.artifacts.root, self.artifacts.version, False)
+            flights.append((seed, future, status))
+
+        report = FuzzReport()
+        counts = {"executed": 0, "coalesced": 0, "memo": 0}
+        for seed, future, status in flights:
+            result, payload = future.result()
+            counts[status] += 1
+            if status == "executed":
+                stats.merge_job(payload)
+            else:
+                # the work (and its stage clock) already belongs to the
+                # flight that executed it; count the job, not its cost
+                stats.jobs_total += 1
+                stats.coalesced += 1
+            report.seeds_run += 1
+            if result.skipped is not None:
+                report.seeds_skipped += 1
+            report.configs_run += result.n_configs
+            report.divergences.extend(result.divergences)
+        report.elapsed_s = time.perf_counter() - start
+        stats.wall_s = report.elapsed_s
+
+        n = len(seeds)
+        return {
+            "report": report.to_json(),
+            "stats": stats.to_json(),
+            "serve": {
+                "seeds": n,
+                "executed": counts["executed"],
+                "coalesced": counts["coalesced"],
+                "memo": counts["memo"],
+                "warm_rate": round(
+                    (counts["coalesced"] + counts["memo"]) / n, 4)
+                if n else 0.0,
+            },
+        }
+
+    def _op_wholeprog(self, message: dict) -> dict:
+        from ..exec import compile_whole_program
+        from ..machine import MachineConfig
+        from ..workloads.appgen import AppProfile, generate_application
+
+        n_routines = int(message.get("routines", 200))
+        seed = int(message.get("seed", 0))
+        ccm = int(message.get("ccm", 512))
+        key = self.artifacts.key(
+            f"app:routines={n_routines},seed={seed}",
+            f"serve-wholeprog:ccm{ccm}")
+
+        def run() -> dict:
+            profile = AppProfile(n_routines=n_routines, seed=seed)
+            app = generate_application(profile)
+            report = compile_whole_program(
+                app, MachineConfig(ccm_bytes=ccm), jobs=self.pool.jobs,
+                artifacts=self.artifacts, pool=self.pool)
+            return report.to_json()
+
+        result, status = self.scheduler.call(key, run)
+        result = dict(result)
+        result["serve"] = {"status": status, "key": key[:16]}
+        return result
+
+    def _op_stats(self, message: dict) -> dict:
+        with self._stats_lock:
+            requests = self._requests
+            by_op = dict(self._requests_by_op)
+        return {
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self._started, 3),
+            "requests": requests,
+            "requests_by_op": by_op,
+            "jobs": self.pool.jobs,
+            "scheduler": self.scheduler.snapshot(),
+            "artifact_cache": {
+                "hits": self.artifacts.hits,
+                "misses": self.artifacts.misses,
+                "errors": self.artifacts.errors,
+                "stores": self.artifacts.stores,
+                "evicted": self.artifacts.evicted,
+                **self.artifacts.stats(),
+            },
+            "trace_counters": {
+                name: (int(v) if float(v).is_integer() else v)
+                for name, v in sorted(self.recorder.counters.items())},
+        }
+
+    def _op_cache(self, message: dict) -> dict:
+        action = message.get("action", "stats")
+        if action == "stats":
+            return self.artifacts.stats()
+        if action == "evict":
+            budget = message.get("budget", self.artifacts.budget_bytes)
+            if budget is None:
+                raise ValueError("evict needs a budget "
+                                 "(request field or server configuration)")
+            removed = self.artifacts.evict(int(budget))
+            return {"evicted": removed, **self.artifacts.stats()}
+        if action == "clear":
+            self.artifacts.clear()
+            return {"cleared": True, **self.artifacts.stats()}
+        raise ValueError(f"unknown cache action: {action!r}")
+
+    def _op_shutdown(self, message: dict) -> dict:
+        self.stop()
+        return {"stopping": True, "pid": os.getpid()}

@@ -26,6 +26,7 @@ aggregates exactly like a serial one.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -144,6 +145,11 @@ class TraceRecorder:
         self.pid = os.getpid()
         self.events: List[tuple] = []
         self.counters: Dict[str, float] = {}
+        # one recorder may be fed from many threads (the repro.serve
+        # daemon installs a single long-lived recorder and every
+        # connection thread records into it); the counter
+        # read-modify-write and the event append must not lose updates
+        self._lock = threading.Lock()
 
     # -- the recording API ---------------------------------------------------
 
@@ -151,20 +157,24 @@ class TraceRecorder:
         return _Span(self, name, args)
 
     def counter(self, name: str, value=1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def _complete(self, name: str, start: float, end: float,
                   args: dict) -> None:
-        self.events.append((name,
-                            int((start - self.t0) * 1e6),
-                            int((end - start) * 1e6),
-                            self.pid, args))
+        with self._lock:
+            self.events.append((name,
+                                int((start - self.t0) * 1e6),
+                                int((end - start) * 1e6),
+                                self.pid, args))
 
     # -- cross-process merge -------------------------------------------------
 
     def to_payload(self) -> dict:
         """A plain, picklable dict for the pool-result channel."""
-        return {"events": list(self.events), "counters": dict(self.counters)}
+        with self._lock:
+            return {"events": list(self.events),
+                    "counters": dict(self.counters)}
 
     def merge_payload(self, payload: Optional[dict]) -> None:
         """Fold a worker's :meth:`to_payload` result into this recorder.
@@ -175,9 +185,10 @@ class TraceRecorder:
         """
         if not payload:
             return
-        self.events.extend(tuple(e) for e in payload.get("events", ()))
-        for name, value in payload.get("counters", {}).items():
-            self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.events.extend(tuple(e) for e in payload.get("events", ()))
+            for name, value in payload.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
 
     # -- aggregate views -----------------------------------------------------
 

@@ -71,11 +71,23 @@ class TestPersistence:
         hit, _ = cache.get(key)
         assert not hit and len(cache) == 0
 
-    def test_overwrite_same_key(self, cache):
+    def test_put_same_key_first_publish_wins(self, cache):
+        # keys are content addresses, so racing writers hold identical
+        # values; the incumbent is verified and kept (write-once-verify)
         key = cache.key("src", "cfg")
         cache.put(key, "first")
-        cache.put(key, "second")
-        assert cache.get(key) == (True, "second")
+        cache.put(key, "first")
+        assert cache.stores == 1
+        assert cache.get(key) == (True, "first")
+
+    def test_put_replaces_corrupt_incumbent(self, cache):
+        key = cache.key("src", "cfg")
+        cache.put(key, "good")
+        with open(cache._path(key), "wb") as handle:
+            handle.write(b"torn write")
+        cache.put(key, "good")
+        assert cache.stores == 2
+        assert cache.get(key) == (True, "good")
 
 
 class TestCorruptionRecovery:

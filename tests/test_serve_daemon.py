@@ -1,0 +1,356 @@
+"""The compile-service daemon: protocol, scheduling, and equivalence.
+
+Three layers under test:
+
+* the **scheduler** in isolation, with a controllable fake pool — this
+  is where the coalescing guarantee (N concurrent identical
+  submissions, exactly 1 execution, ``coalesced == N - 1``) is proved
+  deterministically, independent of pool timing;
+* the **server** in-process on a Unix socket in ``tmp_path`` — every
+  operation, error handling, and the bit-identity of a served sweep
+  against the one-shot :func:`repro.difftest.runner.run_fuzz` path;
+* **concurrent clients** against one server — the invariant that K
+  identical sweep requests execute each seed exactly once, however the
+  arrivals interleave with execution.
+"""
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.difftest.runner import config_lattice, run_fuzz
+from repro.exec import ArtifactCache
+from repro.serve import ReproServer, ServeClient, ServeError, wait_for_server
+from repro.serve.scheduler import RequestScheduler
+
+CCM_SIZES = (0, 64)
+
+SOURCE = """
+func main(): int {
+  var acc: int = 0
+  var i: int = 0
+  while (i < 10) {
+    acc = acc + i
+    i = i + 1
+  }
+  return acc
+}
+"""
+
+
+# -- scheduler unit tests (fake pool, fully controlled timing) ----------------
+
+
+class _ManualPool:
+    """A pool whose futures complete only when the test says so."""
+
+    def __init__(self):
+        self.submissions = []
+
+    def submit(self, fn, *args):
+        future = Future()
+        self.submissions.append((fn, args, future))
+        return future
+
+    def finish(self, index=0, value=None):
+        fn, args, future = self.submissions[index]
+        future.set_result(value if value is not None else fn(*args))
+
+    def fail(self, index=0, exc=None):
+        _fn, _args, future = self.submissions[index]
+        future.set_exception(exc or RuntimeError("job failed"))
+
+
+def _job(tag="x"):
+    return f"result-{tag}"
+
+
+class TestRequestScheduler:
+    def test_n_identical_submissions_execute_once(self):
+        """The acceptance criterion, deterministically: N concurrent
+        identical submissions -> 1 execution, coalesced == N - 1."""
+        pool = _ManualPool()
+        sched = RequestScheduler(pool)
+        n = 7
+        flights = [sched.submit("key", _job, "a") for _ in range(n)]
+        assert len(pool.submissions) == 1
+        assert [status for _f, status in flights] == \
+            ["executed"] + ["coalesced"] * (n - 1)
+        assert sched.executed == 1
+        assert sched.coalesced == n - 1
+        pool.finish()
+        assert all(f.result() == "result-a" for f, _s in flights)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        pool = _ManualPool()
+        sched = RequestScheduler(pool)
+        sched.submit("k1", _job, "a")
+        sched.submit("k2", _job, "b")
+        assert len(pool.submissions) == 2
+        assert sched.coalesced == 0
+
+    def test_completed_job_replays_from_memo(self):
+        pool = _ManualPool()
+        sched = RequestScheduler(pool)
+        future, _ = sched.submit("key", _job, "a")
+        pool.finish()
+        assert future.result() == "result-a"
+        replay, status = sched.submit("key", _job, "a")
+        assert status == "memo"
+        assert replay.result() == "result-a"
+        assert len(pool.submissions) == 1       # nothing re-executed
+        assert sched.memo_hits == 1
+
+    def test_failures_fan_out_but_are_not_memoized(self):
+        pool = _ManualPool()
+        sched = RequestScheduler(pool)
+        f1, _ = sched.submit("key", _job, "a")
+        f2, status = sched.submit("key", _job, "a")
+        assert status == "coalesced"
+        pool.fail()
+        with pytest.raises(RuntimeError):
+            f1.result()
+        with pytest.raises(RuntimeError):
+            f2.result()                          # error fans out
+        _f3, status = sched.submit("key", _job, "a")
+        assert status == "executed"              # ...but is never cached
+        assert len(pool.submissions) == 2
+
+    def test_memo_is_bounded_lru(self):
+        pool = _ManualPool()
+        sched = RequestScheduler(pool, memo_size=2)
+        for i, key in enumerate(["k1", "k2", "k3"]):
+            sched.submit(key, _job, key)
+            pool.finish(index=i)
+        # k1 is the LRU entry and must have been evicted
+        _f, status = sched.submit("k1", _job, "k1")
+        assert status == "executed"
+        _f, status = sched.submit("k3", _job, "k3")
+        assert status == "memo"
+
+    def test_blocking_call_single_flights(self):
+        sched = RequestScheduler(_ManualPool())
+        calls = []
+
+        def run():
+            calls.append(1)
+            return "value"
+
+        value, status = sched.call("key", run)
+        assert (value, status) == ("value", "executed")
+        value, status = sched.call("key", run)
+        assert (value, status) == ("value", "memo")
+        assert len(calls) == 1
+
+    def test_blocking_call_error_not_memoized(self):
+        sched = RequestScheduler(_ManualPool())
+
+        def boom():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            sched.call("key", boom)
+        value, status = sched.call("key", lambda: "ok")
+        assert (value, status) == ("ok", "executed")
+
+    def test_snapshot_shape(self):
+        pool = _ManualPool()
+        sched = RequestScheduler(pool)
+        sched.submit("k", _job, "a")
+        sched.submit("k", _job, "a")
+        snap = sched.snapshot()
+        assert snap["executed"] == 1
+        assert snap["coalesced"] == 1
+        assert snap["inflight"] == 1
+        assert snap["warm_rate"] == 0.5
+
+
+# -- in-process server ---------------------------------------------------------
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ReproServer(socket_path=str(tmp_path / "serve.sock"), jobs=1,
+                      cache_dir=str(tmp_path / "cache"))
+    thread = srv.start()
+    yield srv
+    srv.stop()
+    thread.join(10)
+    assert not thread.is_alive()
+
+
+@pytest.fixture
+def client(server):
+    with wait_for_server(socket_path=server.address, timeout=10) as cli:
+        yield cli
+
+
+class TestServerOps:
+    def test_ping(self, client):
+        result = client.ping()
+        assert result["protocol"] == 1
+        assert result["pid"] > 0
+
+    def test_run_compiles_and_memoizes(self, client):
+        first = client.run(SOURCE, variant="postpass_cg", ccm=64)
+        assert first["value"] == 45
+        assert first["serve"]["status"] == "executed"
+        second = client.run(SOURCE, variant="postpass_cg", ccm=64)
+        assert second["serve"]["status"] == "memo"
+        assert second["value"] == first["value"]
+        assert second["cycles"] == first["cycles"]
+
+    def test_run_distinct_configs_do_not_share(self, client):
+        a = client.run(SOURCE, variant="baseline", ccm=64)
+        b = client.run(SOURCE, variant="postpass_cg", ccm=64)
+        assert a["serve"]["key"] != b["serve"]["key"]
+
+    def test_sweep_matches_one_shot_run_fuzz(self, server, client):
+        """A served sweep reports exactly what the one-shot CLI path
+        computes for the same seeds and lattice — warm caches must be
+        invisible in the results."""
+        seeds = list(range(4))
+        served = dict(client.sweep(seeds, ccm_sizes=CCM_SIZES))
+        oracle = run_fuzz(seeds, configs=config_lattice(CCM_SIZES)).to_json()
+        report = dict(served["report"])
+        report.pop("elapsed_s")
+        oracle.pop("elapsed_s")
+        assert report == oracle
+        assert served["serve"]["executed"] == len(seeds)
+
+    def test_sweep_second_pass_fully_warm(self, client):
+        seeds = list(range(3))
+        client.sweep(seeds, ccm_sizes=CCM_SIZES)
+        warm = client.sweep(seeds, ccm_sizes=CCM_SIZES)
+        assert warm["serve"]["executed"] == 0
+        assert warm["serve"]["warm_rate"] == 1.0
+        assert warm["stats"]["coalesced"] == len(seeds)
+
+    def test_wholeprog_and_memo(self, client):
+        first = client.wholeprog(routines=16, seed=3, ccm=256)
+        assert first["n_routines"] == 16
+        assert first["serve"]["status"] == "executed"
+        second = client.wholeprog(routines=16, seed=3, ccm=256)
+        assert second["serve"]["status"] == "memo"
+        assert second["signature"] == first["signature"]
+
+    def test_stats_reports_scheduler_and_cache(self, client):
+        client.sweep([0, 1], ccm_sizes=CCM_SIZES)
+        stats = client.stats()
+        assert stats["scheduler"]["executed"] == 2
+        assert stats["requests_by_op"]["sweep"] == 1
+        assert stats["artifact_cache"]["entries"] >= 0
+        assert "serve.executed" in stats["trace_counters"]
+
+    def test_cache_ops(self, server, client):
+        client.sweep([0], ccm_sizes=CCM_SIZES)
+        stats = client.cache("stats")
+        assert stats["entries"] == 1
+        assert client.cache("evict", budget=10 ** 9)["evicted"] == 0
+        cleared = client.cache("clear")
+        assert cleared["entries"] == 0
+
+    def test_cache_evict_needs_budget(self, client):
+        with pytest.raises(ServeError, match="budget"):
+            client.cache("evict")
+
+    def test_unknown_op_is_an_error(self, client):
+        with pytest.raises(ServeError, match="unknown op"):
+            client.request("frobnicate")
+
+    def test_private_op_not_reachable(self, client):
+        with pytest.raises(ServeError, match="unknown op"):
+            client.request("_serve_connection")
+
+    def test_request_error_does_not_kill_connection(self, client):
+        with pytest.raises(ServeError):
+            client.run("this is not MFL")
+        assert client.ping()["protocol"] == 1
+
+    def test_shutdown_stops_server(self, server, client):
+        assert client.shutdown()["stopping"] is True
+
+    def test_stale_socket_is_reclaimed(self, tmp_path):
+        path = tmp_path / "stale.sock"
+        first = ReproServer(socket_path=str(path), jobs=1,
+                            cache_dir=str(tmp_path / "c1"))
+        first.listen()
+        first.stop()
+        first.serve_forever()        # returns immediately, leaves no socket
+        # simulate a crash: recreate the socket file with no listener
+        import socket as socket_mod
+        dead = socket_mod.socket(socket_mod.AF_UNIX,
+                                 socket_mod.SOCK_STREAM)
+        dead.bind(str(path))
+        dead.close()
+        second = ReproServer(socket_path=str(path), jobs=1,
+                             cache_dir=str(tmp_path / "c2"))
+        second.listen()              # must reclaim, not crash
+        second.stop()
+        second.serve_forever()
+
+
+class TestConcurrentClients:
+    def test_identical_concurrent_sweeps_execute_each_seed_once(
+            self, server):
+        """K clients submitting the same sweep concurrently: every seed
+        is executed exactly once across the whole server; the other
+        K-1 copies are coalesced or memo hits."""
+        seeds = list(range(3))
+        k = 4
+        results = [None] * k
+        barrier = threading.Barrier(k)
+
+        def worker(slot):
+            with ServeClient(socket_path=server.address) as cli:
+                barrier.wait()
+                results[slot] = cli.sweep(seeds, ccm_sizes=CCM_SIZES)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(k)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert all(r is not None for r in results)
+        total_executed = sum(r["serve"]["executed"] for r in results)
+        total_warm = sum(r["serve"]["coalesced"] + r["serve"]["memo"]
+                         for r in results)
+        assert total_executed == len(seeds)
+        assert total_warm == (k - 1) * len(seeds)
+        reports = [r["report"] for r in results]
+        for report in reports:
+            report["elapsed_s"] = 0       # timing may differ; results not
+        assert all(report == reports[0] for report in reports)
+        assert server.scheduler.executed == len(seeds)
+
+    def test_pipelined_requests_on_one_connection(self, client):
+        for i in range(5):
+            assert client.ping()["protocol"] == 1
+
+
+class TestServedSweepBitIdentity:
+    def test_warm_results_identical_to_cold(self, tmp_path):
+        """Cold server, warm server, and the serial reference all
+        report the same divergence-free sweep."""
+        seeds = list(range(3))
+        srv = ReproServer(socket_path=str(tmp_path / "s.sock"), jobs=1,
+                          cache_dir=str(tmp_path / "cache"))
+        thread = srv.start()
+        try:
+            with wait_for_server(socket_path=srv.address) as cli:
+                cold = cli.sweep(seeds, ccm_sizes=CCM_SIZES)
+                warm = cli.sweep(seeds, ccm_sizes=CCM_SIZES)
+        finally:
+            srv.stop()
+            thread.join(10)
+        reference = run_fuzz(
+            seeds, configs=config_lattice(CCM_SIZES),
+            artifacts=ArtifactCache(str(tmp_path / "oracle-cache")))
+        for payload in (cold, warm):
+            report = dict(payload["report"])
+            report.pop("elapsed_s")
+            oracle = reference.to_json()
+            oracle.pop("elapsed_s")
+            assert report == oracle

@@ -1,0 +1,101 @@
+"""End-to-end smoke: the daemon and its clients as real processes.
+
+Everything else in the serve test suite runs the server in-process;
+this file is the deployment story — ``python -m repro serve`` as a
+subprocess, clients as separate subprocesses finding it through
+``$REPRO_SERVE_SOCKET``, a SIGTERM landing on a live daemon — because
+process start-up, signal handling, and socket discovery are exactly
+the parts an in-process harness cannot exercise.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import wait_for_server
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture
+def env(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env["REPRO_SERVE_SOCKET"] = str(tmp_path / "serve.sock")
+    return env
+
+
+@pytest.fixture
+def daemon(env, tmp_path):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--jobs", "1"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    client = wait_for_server(socket_path=env["REPRO_SERVE_SOCKET"],
+                            timeout=30)
+    client.close()
+    yield proc, env
+    if proc.poll() is None:
+        proc.terminate()
+        proc.wait(15)
+
+
+def _client_json(env, *argv):
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", *argv],
+        env=env, capture_output=True, text=True, timeout=300)
+    assert out.returncode == 0, out.stderr
+    return json.loads(out.stdout)
+
+
+class TestServeSmoke:
+    def test_cold_then_warm_sweep_through_cli(self, daemon):
+        proc, env = daemon
+        args = ["sweep", "--seeds", "4", "--ccm-sizes", "0", "64"]
+        cold = _client_json(env, *args)
+        assert cold["serve"]["executed"] == 4
+        assert cold["report"]["n_divergences"] == 0
+        warm = _client_json(env, *args)
+        assert warm["serve"]["executed"] == 0
+        assert warm["serve"]["warm_rate"] >= 0.9
+        assert warm["report"]["n_divergences"] == 0
+        # warm results are the cold results, minus the timing
+        for payload in (cold, warm):
+            payload["report"].pop("elapsed_s")
+        assert warm["report"] == cold["report"]
+
+    def test_stats_and_ping_cli(self, daemon):
+        proc, env = daemon
+        assert _client_json(env, "ping")["protocol"] == 1
+        _client_json(env, "sweep", "--seeds", "2",
+                     "--ccm-sizes", "0", "64")
+        stats = _client_json(env, "stats")
+        assert stats["scheduler"]["executed"] == 2
+        assert stats["requests"] >= 2
+
+    def test_shutdown_cli_exits_daemon_cleanly(self, daemon):
+        proc, env = daemon
+        result = _client_json(env, "shutdown")
+        assert result["stopping"] is True
+        assert proc.wait(30) == 0
+
+    def test_sigterm_exits_daemon_cleanly(self, daemon):
+        proc, env = daemon
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(30) == 0
+        assert b"stopped" in proc.stderr.read()
+
+    def test_cache_cli_sees_served_artifacts(self, daemon):
+        proc, env = daemon
+        _client_json(env, "sweep", "--seeds", "2",
+                     "--ccm-sizes", "0", "64")
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "cache", "stats", "--json"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert out.returncode == 0, out.stderr
+        stats = json.loads(out.stdout)
+        assert stats["entries"] == 2
